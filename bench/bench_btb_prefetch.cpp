@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Decode-based BTB prefill extension (Section 7.3, Boomerang-style): on
+ * every L1I miss the incoming line is predecoded and its direct
+ * unconditional branches/calls are inserted into the BTB, shrinking the
+ * misfetch rate of organizations whose entries are not tied to dynamic
+ * blocks (I-BTB, R-BTB; block organizations ignore prefill, matching the
+ * paper's remark that decode-based prefetching cannot chain blocks).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace btbsim;
+using namespace btbsim::bench;
+
+int
+main()
+{
+    Context ctx = setup("Extension — decode-based BTB prefill",
+                        "Section 7.3 (BTB prefetching)");
+
+    struct Variant
+    {
+        BtbConfig btb;
+        bool prefill;
+    };
+    const std::vector<Variant> variants = {
+        {BtbConfig::ibtb(16), false},
+        {BtbConfig::ibtb(16), true},
+        {BtbConfig::rbtb(3), false},
+        {BtbConfig::rbtb(3), true},
+        {BtbConfig::hetero(1, true), false},
+        {BtbConfig::hetero(1, true), true},
+    };
+
+    std::printf("%-24s %9s %9s %9s %9s\n", "config", "IPC(gm)", "MFPKI",
+                "MPKI", "L1hit%");
+    std::printf("%s\n", std::string(64, '-').c_str());
+    for (const Variant &v : variants) {
+        CpuConfig cfg;
+        cfg.btb = v.btb;
+        cfg.btb_predecode_fill = v.prefill;
+        double ipc = 1.0, mf = 0, mp = 0, hit = 0;
+        for (const WorkloadSpec &spec : ctx.suite) {
+            const SimStats s = runOne(cfg, spec, ctx.opt);
+            ipc *= s.ipc;
+            mf += s.misfetch_pki;
+            mp += s.branch_mpki;
+            hit += s.l1_btb_hitrate;
+        }
+        const double n = static_cast<double>(ctx.suite.size());
+        std::printf("%-24s %9.3f %9.2f %9.2f %9.1f\n",
+                    (v.btb.name() + (v.prefill ? " +pf" : "")).c_str(),
+                    std::pow(ipc, 1.0 / n), mf / n, mp / n,
+                    100.0 * hit / n);
+    }
+    std::printf("\n");
+
+    expectation(
+        "Prefill removes most cold/capacity misfetches on unconditional "
+        "branches and calls for the I-BTB and R-BTB (and feeds the "
+        "heterogeneous hierarchy's region L2 directly); conditional and "
+        "indirect-branch mispredictions are untouched, so the IPC gain "
+        "tracks the misfetch share of the resteer mix.");
+    return 0;
+}

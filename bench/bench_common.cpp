@@ -1,0 +1,79 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace btbsim::bench {
+
+Context
+setup(const std::string &title, const std::string &paper_ref)
+{
+    Context ctx;
+    ctx.opt = RunOptions::fromEnv();
+    ctx.suite = serverSuite(ctx.opt.traces);
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s of Perais & Sheikh, \"Branch Target Buffer\n"
+                "Organizations\", MICRO 2023.\n",
+                paper_ref.c_str());
+    std::printf("%zu workloads, %llu warmup + %llu measured instructions each\n",
+                ctx.suite.size(),
+                static_cast<unsigned long long>(ctx.opt.warmup),
+                static_cast<unsigned long long>(ctx.opt.measure));
+    std::printf("==============================================================\n\n");
+    return ctx;
+}
+
+CpuConfig
+idealIbtb16()
+{
+    CpuConfig cfg;
+    cfg.btb = BtbConfig::ibtb(16);
+    cfg.btb.makeIdeal();
+    return cfg;
+}
+
+CpuConfig
+realIbtb16()
+{
+    CpuConfig cfg;
+    cfg.btb = BtbConfig::ibtb(16);
+    return cfg;
+}
+
+ResultSet
+runAll(const Context &ctx, const std::vector<CpuConfig> &configs)
+{
+    ResultSet rs;
+    for (const CpuConfig &cfg : configs) {
+        std::printf("  running %-28s", cfg.btb.name().c_str());
+        std::fflush(stdout);
+        for (const WorkloadSpec &spec : ctx.suite) {
+            rs.add(runOne(cfg, spec, ctx.opt));
+            std::printf(".");
+            std::fflush(stdout);
+        }
+        const double gm = geomeanIpc(rs.all(), cfg.btb.name());
+        std::printf(" geomean IPC %.3f\n", gm);
+    }
+    std::printf("\n");
+    return rs;
+}
+
+void
+printFigure(const ResultSet &results, const std::string &baseline)
+{
+    std::printf("IPC normalized to %s:\n", baseline.c_str());
+    results.printNormalizedTable(std::cout, baseline);
+    std::printf("\nPer-configuration detail (suite means):\n");
+    results.printDetailTable(std::cout);
+    std::printf("\n");
+}
+
+void
+expectation(const std::string &text)
+{
+    std::printf("Paper-shape expectation: %s\n\n", text.c_str());
+}
+
+} // namespace btbsim::bench

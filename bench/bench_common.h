@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches. Every bench
+ * simulates a set of BTB configurations over the server suite and prints
+ * the same rows/series the paper reports, normalized to the idealistic
+ * 512K-entry I-BTB 16 exactly as the paper does (footnote 5).
+ *
+ * Scale with environment variables: BTBSIM_WARMUP, BTBSIM_MEASURE
+ * (instructions), BTBSIM_TRACES (workload count).
+ */
+
+#ifndef BTBSIM_BENCH_BENCH_COMMON_H
+#define BTBSIM_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+
+namespace btbsim::bench {
+
+/** Everything a bench needs: options and the workload suite. */
+struct Context
+{
+    RunOptions opt;
+    std::vector<WorkloadSpec> suite;
+};
+
+/** Parse env options, build the suite, print the bench banner. */
+Context setup(const std::string &title, const std::string &paper_ref);
+
+/** The paper's normalization baseline: idealistic 512K-entry I-BTB 16. */
+CpuConfig idealIbtb16();
+
+/** Table 1 realistic I-BTB 16. */
+CpuConfig realIbtb16();
+
+/** Run all configurations over the suite, printing progress. */
+ResultSet runAll(const Context &ctx, const std::vector<CpuConfig> &configs);
+
+/** Print the normalized-IPC whisker table plus the detail table. */
+void printFigure(const ResultSet &results, const std::string &baseline);
+
+/** Note the paper's expected qualitative result under the tables. */
+void expectation(const std::string &text);
+
+} // namespace btbsim::bench
+
+#endif // BTBSIM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11a: limit study — MB-BTB 64 AllBr vs I-BTB 16 with idealistic
+ * 512K-entry BTBs and an ideal backend constrained only by data
+ * dependencies in an 8K-instruction window. Speedup is reported per
+ * workload against its average dynamic basic-block size.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace btbsim;
+using namespace btbsim::bench;
+
+int
+main()
+{
+    Context ctx = setup("Fig. 11a — MB-BTB limit study (ideal backend)",
+                        "Figure 11a (Section 6.5.2)");
+
+    CpuConfig ibtb = idealIbtb16().withIdealBackend();
+    CpuConfig mb;
+    mb.btb = BtbConfig::mbbtb(3, PullPolicy::kAllBr, 64).makeIdeal();
+    mb = mb.withIdealBackend();
+
+    ResultSet rs = runAll(ctx, {ibtb, mb});
+
+    struct Row
+    {
+        std::string workload;
+        double bb;
+        double speedup;
+    };
+    std::vector<Row> rows;
+    for (const std::string &wl : rs.workloads()) {
+        const SimStats *a = rs.find("I-BTB 16 (ideal)", wl);
+        const SimStats *b = rs.find(mb.btb.name(), wl);
+        if (a && b)
+            rows.push_back({wl, a->avg_dyn_bb_size, b->ipc / a->ipc});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &x, const Row &y) { return x.bb < y.bb; });
+
+    std::printf("%-12s %10s %14s\n", "workload", "dynBBsize",
+                "MB/I speedup");
+    std::printf("%s\n", std::string(38, '-').c_str());
+    std::vector<double> speedups;
+    for (const Row &r : rows) {
+        std::printf("%-12s %10.2f %14.3f\n", r.workload.c_str(), r.bb,
+                    r.speedup);
+        speedups.push_back(r.speedup);
+    }
+    std::printf("%-12s %10s %14.3f  (min %.3f, max %.3f)\n\n", "geomean", "",
+                geomean(speedups), vecMin(speedups), vecMax(speedups));
+
+    expectation(
+        "With a dataflow-limited backend, MB-BTB 64 AllBr beats I-BTB 16 "
+        "significantly (paper: 13.4%% geomean, 6.0%%-15.6%%), and the "
+        "speedup falls as the average dynamic basic-block size grows "
+        "(large blocks already saturate a one-block-per-cycle frontend).");
+    return 0;
+}

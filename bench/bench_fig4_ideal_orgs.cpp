@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 4: potential of the I-, R- and B-BTB organizations with an
+ * idealistic huge (512K-entry) BTB and 0-cycle taken-branch penalty.
+ *
+ * Configurations: I-BTB 8 / 16 / 16 Skp; R-BTB with 1/2/3/4/16 branch
+ * slots; B-BTB with 1/2/3/4/16 branch slots. All normalized to I-BTB 16.
+ */
+
+#include "bench_common.h"
+
+using namespace btbsim;
+using namespace btbsim::bench;
+
+int
+main()
+{
+    Context ctx = setup("Fig. 4 — Idealistic BTB organization potential",
+                        "Figure 4 (Section 5)");
+
+    std::vector<CpuConfig> configs;
+    auto add = [&](BtbConfig b) {
+        CpuConfig c;
+        c.btb = b.makeIdeal();
+        configs.push_back(c);
+    };
+
+    add(BtbConfig::ibtb(16));
+    add(BtbConfig::ibtb(8));
+    add(BtbConfig::ibtb(16, /*skip=*/true));
+    for (unsigned slots : {1u, 2u, 3u, 4u, 16u})
+        add(BtbConfig::rbtb(slots));
+    for (unsigned slots : {1u, 2u, 3u, 4u, 16u})
+        add(BtbConfig::bbtb(slots));
+
+    ResultSet rs = runAll(ctx, configs);
+    printFigure(rs, "I-BTB 16 (ideal)");
+
+    expectation(
+        "All organizations sit within a few percent of I-BTB 16; IPC drops "
+        "as R-/B-BTB branch slots shrink (untracked-branch misfetches and "
+        "mispredictions); R-BTB stays slightly below I-/B-BTB even at 16 "
+        "slots because an access cannot cross the region boundary; I-BTB 8 "
+        "loses little and I-BTB 16 Skp gains little (throughput beyond the "
+        "backend's ILP is wasted). Paper: I-BTB 8 costs up to 2.2% (0.2% "
+        "geomean); Skp gains up to 1.4% (0.1% geomean); R-BTB 16BS loses "
+        "up to 1.4% (0.2% geomean). Fetch PCs per access: 5.6 (I-BTB 8), "
+        "7.7 (I-BTB 16), 15.9 (Skp), 6.2 (R-BTB).");
+    return 0;
+}

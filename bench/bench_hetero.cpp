@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Heterogeneous hierarchy study (Section 3.6.2, the paper's future work):
+ * a block-organized L1 backed by a region-organized L2 that stores each
+ * branch exactly once, compared against the homogeneous hierarchies at
+ * iso-branch-slot sizing.
+ */
+
+#include "bench_common.h"
+
+using namespace btbsim;
+using namespace btbsim::bench;
+
+int
+main()
+{
+    Context ctx = setup("Extension — heterogeneous BTB hierarchy",
+                        "Section 3.6.2 (future work)");
+
+    std::vector<CpuConfig> configs;
+    configs.push_back(idealIbtb16());
+    configs.push_back(realIbtb16());
+    auto add = [&](BtbConfig b) {
+        CpuConfig c;
+        c.btb = b;
+        configs.push_back(c);
+    };
+
+    add(BtbConfig::bbtb(1, /*split=*/true)); // best homogeneous practical
+    add(BtbConfig::rbtb(3, 64, /*dual=*/true));
+    add(BtbConfig::hetero(1, /*split=*/true));
+    add(BtbConfig::hetero(2, /*split=*/true));
+    add(BtbConfig::hetero(2, /*split=*/false));
+
+    ResultSet rs = runAll(ctx, configs);
+    printFigure(rs, "I-BTB 16 (ideal)");
+
+    expectation(
+        "The region L2 wastes no capacity on the B-BTB's metadata "
+        "redundancy, so at iso-slot sizing the heterogeneous hierarchy "
+        "should hold more distinct branches than the homogeneous B-BTB "
+        "L2 and lose fewer taken branches entirely — the advantage the "
+        "paper hypothesizes when suggesting heterogeneous hierarchies.");
+    return 0;
+}

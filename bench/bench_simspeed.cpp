@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): trace generation and
+ * interpretation throughput, plus full-pipeline simulation speed for each
+ * BTB organization. Useful for tracking performance regressions of the
+ * simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/cpu.h"
+#include "trace/generator.h"
+#include "trace/suite.h"
+#include "trace/synthetic_trace.h"
+
+using namespace btbsim;
+
+namespace {
+
+const Program &
+benchProgram()
+{
+    static const Program prog = [] {
+        GenParams p;
+        p.seed = 0x5151;
+        p.target_static_insts = 48 * 1024;
+        p.num_handlers = 8;
+        return generateProgram(p);
+    }();
+    return prog;
+}
+
+void
+BM_GenerateProgram(benchmark::State &state)
+{
+    GenParams p;
+    p.seed = 0x1234;
+    p.target_static_insts = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        Program prog = generateProgram(p);
+        benchmark::DoNotOptimize(prog.insts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * p.target_static_insts);
+}
+
+void
+BM_InterpretTrace(benchmark::State &state)
+{
+    SyntheticTrace trace(benchProgram(), 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next().pc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_SimulateOrg(benchmark::State &state)
+{
+    const auto kind = static_cast<BtbKind>(state.range(0));
+    CpuConfig cfg;
+    switch (kind) {
+      case BtbKind::kInstruction:
+        cfg.btb = BtbConfig::ibtb(16);
+        break;
+      case BtbKind::kRegion:
+        cfg.btb = BtbConfig::rbtb(3);
+        break;
+      case BtbKind::kBlock:
+        cfg.btb = BtbConfig::bbtb(1, true);
+        break;
+      case BtbKind::kMultiBlock:
+        cfg.btb = BtbConfig::mbbtb(3, PullPolicy::kAllBr, 64);
+        break;
+    }
+    const std::uint64_t chunk = 100'000;
+    SyntheticTrace trace(benchProgram(), 2);
+    Cpu cpu(cfg, trace);
+    for (auto _ : state)
+        cpu.run(0, chunk);
+    state.SetItemsProcessed(static_cast<std::int64_t>(cpu.committed()));
+    state.SetLabel(cfg.btb.name());
+}
+
+} // namespace
+
+BENCHMARK(BM_GenerateProgram)->Arg(16 * 1024)->Arg(64 * 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterpretTrace);
+BENCHMARK(BM_SimulateOrg)
+    ->Arg(static_cast<int>(BtbKind::kInstruction))
+    ->Arg(static_cast<int>(BtbKind::kRegion))
+    ->Arg(static_cast<int>(BtbKind::kBlock))
+    ->Arg(static_cast<int>(BtbKind::kMultiBlock))
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+BENCHMARK_MAIN();

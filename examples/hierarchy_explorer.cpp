@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hierarchy explorer: sweep L1/L2 BTB sizes for a chosen organization and
+ * print how hit rates and IPC respond — the kind of design-space probe a
+ * microarchitect would run before committing to a geometry.
+ *
+ * Usage: hierarchy_explorer [org]
+ *   org: ibtb (default), rbtb, bbtb, mbbtb
+ */
+
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+
+#include "sim/runner.h"
+#include "trace/suite.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace btbsim;
+
+    const char *org = argc > 1 ? argv[1] : "ibtb";
+
+    auto base = [&]() -> BtbConfig {
+        if (!std::strcmp(org, "rbtb"))
+            return BtbConfig::rbtb(3);
+        if (!std::strcmp(org, "bbtb"))
+            return BtbConfig::bbtb(1, true);
+        if (!std::strcmp(org, "mbbtb"))
+            return BtbConfig::mbbtb(3, PullPolicy::kAllBr);
+        return BtbConfig::ibtb(16);
+    }();
+
+    RunOptions opt = RunOptions::fromEnv();
+    opt.traces = std::min<std::size_t>(opt.traces, 3);
+    const auto suite = serverSuite(opt.traces);
+
+    struct Geometry
+    {
+        const char *name;
+        BtbLevelGeom l1, l2;
+    };
+    const Geometry sweeps[] = {
+        {"tiny   (0.5K/2K)", {128, 4}, {256, 8}},
+        {"small  (1.5K/6.5K)", {256, 6}, {512, 13}},
+        {"table1 (3K/13K)", {512, 6}, {1024, 13}},
+        {"double (6K/26K)", {1024, 6}, {2048, 13}},
+        {"huge   (24K/52K)", {4096, 6}, {4096, 13}},
+    };
+
+    std::printf("Organization: %s\n\n", base.name().c_str());
+    std::printf("%-20s %8s %8s %8s %8s %8s\n", "geometry", "IPC", "L1hit%",
+                "hit%", "MPKI", "MFPKI");
+    std::printf("%s\n", std::string(64, '-').c_str());
+
+    for (const Geometry &g : sweeps) {
+        CpuConfig cfg;
+        cfg.btb = base;
+        cfg.btb.l1 = g.l1;
+        cfg.btb.l2 = g.l2;
+        double ipc = 1.0, l1 = 0, hit = 0, mpki = 0, mfpki = 0;
+        for (const WorkloadSpec &spec : suite) {
+            const SimStats s = runOne(cfg, spec, opt);
+            ipc *= s.ipc;
+            l1 += s.l1_btb_hitrate;
+            hit += s.btb_hitrate;
+            mpki += s.branch_mpki;
+            mfpki += s.misfetch_pki;
+        }
+        const double n = static_cast<double>(suite.size());
+        std::printf("%-20s %8.3f %8.1f %8.1f %8.2f %8.2f\n", g.name,
+                    std::pow(ipc, 1.0 / n), 100.0 * l1 / n, 100.0 * hit / n,
+                    mpki / n, mfpki / n);
+    }
+    return 0;
+}

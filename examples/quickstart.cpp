@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: generate a server-like synthetic workload, simulate it on
+ * the Table 1 processor with a realistic two-level I-BTB, and print the
+ * headline statistics.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/cpu.h"
+#include "trace/analyzer.h"
+#include "trace/suite.h"
+
+int
+main()
+{
+    using namespace btbsim;
+
+    // 1. Pick a workload from the calibrated server suite.
+    const std::vector<WorkloadSpec> suite = serverSuite(1);
+    auto workload = makeWorkload(suite.front());
+    std::printf("workload: %s (%.0f KB code)\n", workload->name().c_str(),
+                workload->program().footprintBytes() / 1024.0);
+
+    // 2. Inspect its properties (the paper's Section 2/4 statistics).
+    TraceProperties props = analyzeTrace(*workload, 2'000'000);
+    std::printf("  avg dynamic basic block: %.1f instructions\n",
+                props.avg_bb_size);
+    std::printf("  never-taken conditionals: %.1f%% of dynamic branches\n",
+                100.0 * props.frac_never_taken_cond);
+
+    // 3. Configure the processor: Table 1 defaults with an I-BTB.
+    CpuConfig cfg;
+    cfg.btb = BtbConfig::ibtb(16);
+
+    // 4. Simulate: 1M instructions of warmup, 2M measured.
+    Cpu cpu(cfg, *workload);
+    cpu.run(1'000'000, 2'000'000);
+
+    const SimStats &s = cpu.stats();
+    std::printf("\nconfig: %s\n", s.config.c_str());
+    std::printf("  IPC:               %.3f\n", s.ipc);
+    std::printf("  branch MPKI:       %.2f\n", s.branch_mpki);
+    std::printf("  misfetch PKI:      %.2f\n", s.misfetch_pki);
+    std::printf("  L1 BTB hit rate:   %.1f%%\n", 100.0 * s.l1_btb_hitrate);
+    std::printf("  BTB hit rate:      %.1f%%\n", 100.0 * s.btb_hitrate);
+    std::printf("  fetch PCs/access:  %.2f\n", s.fetch_pcs_per_access);
+    std::printf("  I-cache MPKI:      %.2f\n", s.icache_mpki);
+    const PcGenStats &pg = cpu.pcgenStats();
+    std::printf("  mispredict split:  cond %llu, indirect %llu, return %llu, "
+                "taken-cond-miss %llu\n",
+                (unsigned long long)pg.misp_cond,
+                (unsigned long long)pg.misp_indirect,
+                (unsigned long long)pg.misp_return,
+                (unsigned long long)pg.misp_btbmiss);
+    std::printf("  cond mispredict rate: %.2f%%\n",
+                100.0 * s.cond_mispredict_rate);
+    return 0;
+}

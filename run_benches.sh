@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every paper figure/table. Scale via BTBSIM_WARMUP /
+# BTBSIM_MEASURE / BTBSIM_TRACES.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+for b in build/bench/bench_*; do
+    name=$(basename "$b")
+    echo "=== $name ==="
+    "$b" 2>&1 | tee "results/$name.txt"
+done

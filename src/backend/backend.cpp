@@ -1,0 +1,190 @@
+#include "backend/backend.h"
+
+#include <algorithm>
+
+namespace btbsim {
+
+Backend::Backend(const BackendConfig &cfg, MemHier &mem)
+    : cfg_(cfg), mem_(&mem)
+{}
+
+bool
+Backend::canAllocate() const
+{
+    return rob_.size() < cfg_.rob_size && iq_occupancy_ < cfg_.iq_size &&
+           loads_in_flight_ < cfg_.lq_size &&
+           stores_in_flight_ < cfg_.sq_size;
+}
+
+void
+Backend::allocate(DynInst &&inst, Cycle now)
+{
+    inst.alloc_cycle = now;
+
+    // Rename: resolve sources to producing sequence numbers.
+    inst.dep1 = inst.in.src1 ? last_writer_[inst.in.src1] : 0;
+    inst.dep2 = inst.in.src2 ? last_writer_[inst.in.src2] : 0;
+    if (inst.in.dst)
+        last_writer_[inst.in.dst] = inst.seq;
+
+    if (inst.in.isLoad())
+        ++loads_in_flight_;
+    if (inst.in.isStore())
+        ++stores_in_flight_;
+    ++iq_occupancy_;
+
+    if (cfg_.ideal) {
+        // Pure-dataflow scheduling: with unit latencies and unlimited
+        // ports, completion is computable at allocation because all
+        // producers allocated (and thus scheduled) earlier.
+        Cycle c = now + 1;
+        auto chase = [&](std::uint64_t seq) {
+            if (seq == 0 || seq <= last_committed_seq_)
+                return;
+            auto it = live_.find(seq);
+            if (it != live_.end())
+                c = std::max(c, it->second + 1);
+        };
+        chase(inst.dep1);
+        chase(inst.dep2);
+        inst.issue_cycle = now;
+        inst.complete_cycle = c;
+        if (inst.resteer == Resteer::kExec) {
+            has_pending_resteer_ = true;
+            pending_resteer_complete_ = c;
+        }
+        live_.emplace(inst.seq, c);
+        rob_.push_back(RobEntry{std::move(inst), true});
+        --iq_occupancy_;
+        return;
+    }
+
+    live_.emplace(inst.seq, Cycle{0});
+    rob_.push_back(RobEntry{std::move(inst), false});
+}
+
+bool
+Backend::depReady(std::uint64_t seq, Cycle now, Cycle &ready) const
+{
+    if (seq == 0 || seq <= last_committed_seq_)
+        return true;
+    auto it = live_.find(seq);
+    if (it == live_.end())
+        return true; // Producer predates the measured window.
+    if (it->second == 0)
+        return false; // Producer not yet issued.
+    ready = std::max(ready, it->second);
+    return it->second <= now;
+}
+
+unsigned
+Backend::execLatency(const DynInst &d, Cycle now)
+{
+    if (cfg_.ideal)
+        return 1;
+    switch (d.in.cls) {
+      case InstClass::kAlu:
+      case InstClass::kBranch:
+        return 1;
+      case InstClass::kMul:
+        return 3;
+      case InstClass::kFp:
+        return 3;
+      case InstClass::kDiv:
+        return 12;
+      case InstClass::kStore:
+        return 1;
+      case InstClass::kLoad: {
+        const Cycle done = mem_->load(d.in.pc, d.in.mem_addr, now);
+        return static_cast<unsigned>(done > now ? done - now : 1);
+      }
+    }
+    return 1;
+}
+
+void
+Backend::runCycle(Cycle now)
+{
+    // ---- Issue ----------------------------------------------------------
+    unsigned issued = 0, loads = 0, stores = 0, misc = 0;
+    unsigned window_scanned = 0;
+    for (RobEntry &e : rob_) {
+        if (cfg_.ideal)
+            break; // Scheduled at allocation.
+        if (issued >= cfg_.issue_width)
+            break;
+        if (e.issued)
+            continue;
+        // Only the IQ window of oldest un-issued instructions is eligible.
+        if (++window_scanned > cfg_.iq_size)
+            break;
+        DynInst &d = e.inst;
+        if (d.alloc_cycle >= now)
+            continue; // Allocated this cycle; earliest issue is next cycle.
+
+        Cycle ready = 0;
+        if (!depReady(d.dep1, now, ready) || !depReady(d.dep2, now, ready))
+            continue;
+
+        if (!cfg_.ideal) {
+            if (d.in.isLoad()) {
+                if (loads >= cfg_.load_ports)
+                    continue;
+            } else if (d.in.isStore()) {
+                if (stores >= cfg_.store_ports)
+                    continue;
+            } else if (misc >= cfg_.misc_ports) {
+                continue;
+            }
+        }
+
+        d.issue_cycle = now;
+        d.complete_cycle = now + execLatency(d, now);
+        live_[d.seq] = d.complete_cycle;
+        e.issued = true;
+        --iq_occupancy_;
+        ++issued;
+        if (d.in.isLoad())
+            ++loads;
+        else if (d.in.isStore())
+            ++stores;
+        else
+            ++misc;
+
+        if (d.resteer == Resteer::kExec) {
+            has_pending_resteer_ = true;
+            pending_resteer_complete_ = d.complete_cycle;
+        }
+    }
+
+    // ---- Commit ---------------------------------------------------------
+    unsigned commits = 0;
+    while (!rob_.empty() && commits < cfg_.commit_width) {
+        RobEntry &head = rob_.front();
+        if (!head.issued || head.inst.complete_cycle > now)
+            break;
+        if (head.inst.in.isStore()) {
+            mem_->store(head.inst.in.mem_addr, now);
+            --stores_in_flight_;
+        }
+        if (head.inst.in.isLoad())
+            --loads_in_flight_;
+        last_committed_seq_ = head.inst.seq;
+        live_.erase(head.inst.seq);
+        rob_.pop_front();
+        ++committed_;
+        ++commits;
+    }
+}
+
+Cycle
+Backend::takeExecResteer(Cycle now)
+{
+    if (has_pending_resteer_ && pending_resteer_complete_ <= now) {
+        has_pending_resteer_ = false;
+        return pending_resteer_complete_;
+    }
+    return 0;
+}
+
+} // namespace btbsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Out-of-order backend: rename, issue queue, functional units, ROB.
+ *
+ * Table 1: 352-entry ROB, 128-entry IQ, 128-entry LQ, 72-entry SQ,
+ * 16-wide allocate/execute/commit with 11 misc + 3 load + 2 store ports.
+ * Memory dependence prediction is oracle (as in ChampSim), so loads never
+ * stall on unrelated stores.
+ *
+ * An ideal mode (Fig. 11a) models a backend limited only by data
+ * dependencies inside an 8K-instruction window: unit latencies, unlimited
+ * ports and single-cycle retire of the whole window.
+ */
+
+#ifndef BTBSIM_BACKEND_BACKEND_H
+#define BTBSIM_BACKEND_BACKEND_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "memory/memhier.h"
+#include "sim/dyn_inst.h"
+
+namespace btbsim {
+
+/** Backend configuration. */
+struct BackendConfig
+{
+    unsigned rob_size = 352;
+    unsigned iq_size = 128;
+    unsigned lq_size = 128;
+    unsigned sq_size = 72;
+    unsigned alloc_width = 16;
+    unsigned commit_width = 16;
+    unsigned issue_width = 16;
+    unsigned misc_ports = 11;
+    unsigned load_ports = 3;
+    unsigned store_ports = 2;
+    bool ideal = false; ///< Fig. 11a: 8K window, unit latencies.
+
+    static BackendConfig
+    idealBackend()
+    {
+        BackendConfig c;
+        c.ideal = true;
+        c.rob_size = 8192;
+        c.iq_size = 8192;
+        c.lq_size = 8192;
+        c.sq_size = 8192;
+        c.alloc_width = 8192;
+        c.commit_width = 8192;
+        c.issue_width = 8192;
+        return c;
+    }
+};
+
+/**
+ * The backend pipeline from Allocate to Commit. The Cpu pushes decoded
+ * instructions through tryAllocate() and polls for exec-resolved resteers.
+ */
+class Backend
+{
+  public:
+    Backend(const BackendConfig &cfg, MemHier &mem);
+
+    /** Space for one more instruction this cycle? */
+    bool canAllocate() const;
+
+    /** Allocate @p inst into ROB/IQ (call only when canAllocate()). */
+    void allocate(DynInst &&inst, Cycle now);
+
+    /** Issue + complete + commit for cycle @p now. */
+    void runCycle(Cycle now);
+
+    /**
+     * If a resteer-flagged branch finished executing at or before @p now,
+     * consume the event. @return the resolution cycle, or 0 when none.
+     */
+    Cycle takeExecResteer(Cycle now);
+
+    std::uint64_t committed() const { return committed_; }
+    bool empty() const { return rob_.empty(); }
+    std::uint64_t robOccupancy() const { return rob_.size(); }
+
+    StatSet stats;
+
+  private:
+    struct RobEntry
+    {
+        DynInst inst;
+        bool issued = false;
+    };
+
+    BackendConfig cfg_;
+    MemHier *mem_;
+
+    std::deque<RobEntry> rob_;
+    /// seq -> complete_cycle for live (allocated, uncommitted) producers.
+    std::unordered_map<std::uint64_t, Cycle> live_;
+    std::uint64_t last_committed_seq_ = 0;
+    std::uint64_t committed_ = 0;
+
+    unsigned loads_in_flight_ = 0;
+    unsigned stores_in_flight_ = 0;
+    unsigned iq_occupancy_ = 0;
+
+    /// Outstanding exec-resolved resteer (at most one; the frontend
+    /// stalls). 0 = none; otherwise the branch's completion cycle.
+    Cycle pending_resteer_complete_ = 0;
+    bool has_pending_resteer_ = false;
+
+    /// Rename: architectural register -> producing seq.
+    std::uint64_t last_writer_[64] = {};
+
+    bool depReady(std::uint64_t seq, Cycle now, Cycle &ready) const;
+    unsigned execLatency(const DynInst &d, Cycle now);
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_BACKEND_BACKEND_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Combined branch prediction unit: direction + indirect target + RAS.
+ */
+
+#ifndef BTBSIM_BPRED_BPRED_UNIT_H
+#define BTBSIM_BPRED_BPRED_UNIT_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "bpred/indirect.h"
+#include "bpred/perceptron.h"
+#include "bpred/ras.h"
+#include "trace/instruction.h"
+
+namespace btbsim {
+
+/** Branch prediction unit configuration (Table 1 defaults). */
+struct BPredConfig
+{
+    PerceptronConfig perceptron;
+    unsigned ras_entries = 64;
+    unsigned indirect_entries = 4096;
+};
+
+/**
+ * The prediction resources of the frontend, distinct from the BTB: the BTB
+ * provides branch *existence*, type and direct targets, while this unit
+ * provides conditional directions, return targets, and indirect targets.
+ *
+ * All methods follow the trace-driven immediate-update discipline: they
+ * return what the hardware would have predicted, then train with the
+ * ground truth in the same call.
+ */
+class BPredUnit
+{
+  public:
+    explicit BPredUnit(const BPredConfig &config = {})
+        : perceptron_(config.perceptron),
+          indirect_(config.indirect_entries), ras_(config.ras_entries)
+    {}
+
+    /** Conditional direction: predict then train, shifting history. */
+    bool
+    predictDirection(Addr pc, bool taken)
+    {
+        return perceptron_.predictAndTrain(pc, taken);
+    }
+
+    /** Non-return indirect target: predict then train. 0 = no prediction. */
+    Addr
+    predictIndirect(Addr pc, Addr actual)
+    {
+        return indirect_.predictAndTrain(pc, perceptron_.history(), actual);
+    }
+
+    /** Call at @p pc: push its return address. */
+    void pushCall(Addr call_pc) { ras_.push(call_pc + kInstBytes); }
+
+    /** Return: pop the predicted target (0 when the stack is empty). */
+    Addr popReturn() { return ras_.pop(); }
+
+    const HashedPerceptron &perceptron() const { return perceptron_; }
+    const IndirectPredictor &indirect() const { return indirect_; }
+    const ReturnAddressStack &ras() const { return ras_; }
+
+  private:
+    HashedPerceptron perceptron_;
+    IndirectPredictor indirect_;
+    ReturnAddressStack ras_;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_BPRED_BPRED_UNIT_H

@@ -1,0 +1,56 @@
+#include "bpred/history.h"
+
+#include <algorithm>
+
+namespace btbsim {
+
+void
+GlobalHistory::shift(bool taken)
+{
+    for (std::size_t i = words_.size() - 1; i > 0; --i)
+        words_[i] = (words_[i] << 1) | (words_[i - 1] >> 63);
+    words_[0] = (words_[0] << 1) | static_cast<std::uint64_t>(taken);
+}
+
+void
+GlobalHistory::reset()
+{
+    words_.fill(0);
+}
+
+std::uint64_t
+GlobalHistory::fold(unsigned length, unsigned out_bits) const
+{
+    if (length == 0 || out_bits == 0)
+        return 0;
+    if (length > kBits)
+        length = kBits;
+
+    std::uint64_t acc = 0;
+    unsigned consumed = 0;
+    while (consumed < length) {
+        const unsigned word = consumed / 64;
+        const unsigned bit = consumed % 64;
+        unsigned chunk = std::min({64u - bit, length - consumed, out_bits});
+        std::uint64_t v = (words_[word] >> bit) &
+            ((chunk == 64) ? ~0ull : ((1ull << chunk) - 1));
+        acc ^= v;
+        // Rotate accumulator by chunk within out_bits to spread segments.
+        acc = ((acc << 1) | (acc >> (out_bits - 1))) &
+            ((out_bits == 64) ? ~0ull : ((1ull << out_bits) - 1));
+        consumed += chunk;
+    }
+    return acc;
+}
+
+std::uint64_t
+GlobalHistory::low(unsigned n) const
+{
+    if (n == 0)
+        return 0;
+    if (n >= 64)
+        return words_[0];
+    return words_[0] & ((1ull << n) - 1);
+}
+
+} // namespace btbsim

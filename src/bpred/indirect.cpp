@@ -1,0 +1,25 @@
+#include "bpred/indirect.h"
+
+namespace btbsim {
+
+IndirectPredictor::IndirectPredictor(unsigned entries)
+    : table_(entries, 0), index_bits_(log2i(entries))
+{}
+
+Addr
+IndirectPredictor::predictAndTrain(Addr pc, const GlobalHistory &history,
+                                   Addr actual)
+{
+    const std::uint64_t mask = (1ull << index_bits_) - 1;
+    const std::uint64_t idx =
+        ((pc >> 2) ^ history.fold(4, index_bits_)) & mask;
+
+    const Addr predicted = table_[idx];
+    ++lookups_;
+    if (predicted != actual)
+        ++mispredicts_;
+    table_[idx] = actual;
+    return predicted;
+}
+
+} // namespace btbsim

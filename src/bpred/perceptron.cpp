@@ -1,0 +1,97 @@
+#include "bpred/perceptron.h"
+
+#include <cmath>
+
+namespace btbsim {
+
+HashedPerceptron::HashedPerceptron(const PerceptronConfig &config)
+    : cfg_(config)
+{
+    // Geometric history lengths from 0 to max_history: table 0 is the
+    // PC-indexed bias table, the rest follow a geometric progression.
+    hist_lengths_.resize(cfg_.num_tables);
+    hist_lengths_[0] = 0;
+    const double ratio = std::pow(
+        static_cast<double>(cfg_.max_history) / 3.0,
+        1.0 / static_cast<double>(cfg_.num_tables - 2));
+    double len = 3.0;
+    for (unsigned t = 1; t < cfg_.num_tables; ++t) {
+        hist_lengths_[t] = static_cast<unsigned>(len + 0.5);
+        len *= ratio;
+    }
+    hist_lengths_.back() = cfg_.max_history;
+
+    tables_.assign(cfg_.num_tables, {});
+    for (auto &t : tables_)
+        t.assign(cfg_.entries_per_table, SignedSatCounter<8>{});
+
+    theta_ = static_cast<int>(2.14 * cfg_.num_tables + 20.58);
+}
+
+unsigned
+HashedPerceptron::index(Addr pc, unsigned table) const
+{
+    const unsigned bits = log2i(cfg_.entries_per_table);
+    const std::uint64_t mask = (1ull << bits) - 1;
+    std::uint64_t h = (pc >> 2) ^ ((pc >> 2) >> bits) ^
+        (std::uint64_t{table} * 0x9e3779b97f4a7c15ull >> 48);
+    h ^= history_.fold(hist_lengths_[table], bits);
+    return static_cast<unsigned>(h & mask);
+}
+
+int
+HashedPerceptron::sum(Addr pc, std::vector<unsigned> &indices) const
+{
+    indices.resize(cfg_.num_tables);
+    int s = 0;
+    for (unsigned t = 0; t < cfg_.num_tables; ++t) {
+        indices[t] = index(pc, t);
+        s += tables_[t][indices[t]].value();
+    }
+    return s;
+}
+
+bool
+HashedPerceptron::predict(Addr pc) const
+{
+    std::vector<unsigned> indices;
+    return sum(pc, indices) >= 0;
+}
+
+bool
+HashedPerceptron::predictAndTrain(Addr pc, bool taken)
+{
+    std::vector<unsigned> indices;
+    const int s = sum(pc, indices);
+    const bool pred = s >= 0;
+
+    ++lookups_;
+    if (pred != taken)
+        ++mispredicts_;
+
+    // Train on mispredict or low confidence.
+    if (pred != taken || std::abs(s) <= theta_) {
+        for (unsigned t = 0; t < cfg_.num_tables; ++t)
+            tables_[t][indices[t]].add(taken ? 1 : -1);
+
+        // Adaptive threshold (Seznec-style): grow on mispredicts, shrink
+        // when training only because of low confidence.
+        if (pred != taken) {
+            if (++tc_ >= 32) {
+                tc_ = 0;
+                ++theta_;
+            }
+        } else {
+            if (--tc_ <= -32) {
+                tc_ = 0;
+                if (theta_ > 4)
+                    --theta_;
+            }
+        }
+    }
+
+    history_.shift(taken);
+    return pred;
+}
+
+} // namespace btbsim

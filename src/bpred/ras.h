@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Return Address Stack (Kaeli and Emma), 64 entries per Table 1.
+ */
+
+#ifndef BTBSIM_BPRED_RAS_H
+#define BTBSIM_BPRED_RAS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace btbsim {
+
+/**
+ * Circular return-address stack. Overflow silently overwrites the oldest
+ * entry (as hardware does); underflow returns 0, which the frontend treats
+ * as "no prediction".
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries = 64)
+        : stack_(entries, 0)
+    {}
+
+    /** Push the return address of a call. */
+    void
+    push(Addr ret_pc)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = ret_pc;
+        if (depth_ < stack_.size())
+            ++depth_;
+        ++pushes_;
+    }
+
+    /** Pop the predicted return target; 0 when empty. */
+    Addr
+    pop()
+    {
+        ++pops_;
+        if (depth_ == 0) {
+            ++underflows_;
+            return 0;
+        }
+        Addr r = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --depth_;
+        return r;
+    }
+
+    unsigned depth() const { return static_cast<unsigned>(depth_); }
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::uint64_t underflows() const { return underflows_; }
+
+  private:
+    std::vector<Addr> stack_;
+    std::size_t top_ = 0;
+    std::size_t depth_ = 0;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::uint64_t underflows_ = 0;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_BPRED_RAS_H

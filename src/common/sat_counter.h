@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-width saturating counter, the workhorse of prediction hardware.
+ */
+
+#ifndef BTBSIM_COMMON_SAT_COUNTER_H
+#define BTBSIM_COMMON_SAT_COUNTER_H
+
+#include <cstdint>
+
+namespace btbsim {
+
+/**
+ * Unsigned saturating counter with a compile-time bit width.
+ *
+ * Used for MB-BTB stability counters, replacement state and simple
+ * confidence estimation.
+ */
+template <unsigned Bits>
+class SatCounter
+{
+    static_assert(Bits >= 1 && Bits <= 31, "unsupported counter width");
+
+  public:
+    static constexpr std::uint32_t max() { return (1u << Bits) - 1; }
+
+    constexpr SatCounter() = default;
+    constexpr explicit SatCounter(std::uint32_t v) : value_(v > max() ? max() : v) {}
+
+    std::uint32_t value() const { return value_; }
+    bool saturated() const { return value_ == max(); }
+
+    /** Increment, saturating at the maximum. Returns the new value. */
+    std::uint32_t
+    increment()
+    {
+        if (value_ < max())
+            ++value_;
+        return value_;
+    }
+
+    /** Decrement, saturating at zero. Returns the new value. */
+    std::uint32_t
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+        return value_;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** Force to the saturated value. */
+    void saturate() { value_ = max(); }
+
+  private:
+    std::uint32_t value_ = 0;
+};
+
+/**
+ * Signed saturating counter in [-2^(Bits-1), 2^(Bits-1) - 1], used for
+ * perceptron weights.
+ */
+template <unsigned Bits>
+class SignedSatCounter
+{
+    static_assert(Bits >= 2 && Bits <= 31, "unsupported counter width");
+
+  public:
+    static constexpr std::int32_t max() { return (1 << (Bits - 1)) - 1; }
+    static constexpr std::int32_t min() { return -(1 << (Bits - 1)); }
+
+    constexpr SignedSatCounter() = default;
+
+    std::int32_t value() const { return value_; }
+
+    /** Add @p delta (usually +1/-1), saturating at both rails. */
+    void
+    add(std::int32_t delta)
+    {
+        std::int32_t v = value_ + delta;
+        if (v > max())
+            v = max();
+        if (v < min())
+            v = min();
+        value_ = v;
+    }
+
+  private:
+    std::int32_t value_ = 0;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_COMMON_SAT_COUNTER_H

@@ -1,0 +1,46 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace btbsim {
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        sum += static_cast<double>(i) * static_cast<double>(buckets_[i]);
+    return sum / static_cast<double>(total_);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+vecMin(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+vecMax(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+} // namespace btbsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters, running averages,
+ * histograms, and the geometric-mean helpers the paper's figures use.
+ */
+
+#ifndef BTBSIM_COMMON_STATS_H
+#define BTBSIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace btbsim {
+
+/** Running mean without storing samples. */
+class RunningMean
+{
+  public:
+    void
+    add(double v, double weight = 1.0)
+    {
+        sum_ += v * weight;
+        count_ += weight;
+    }
+
+    double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+    double count() const { return count_; }
+    double sum() const { return sum_; }
+
+  private:
+    double sum_ = 0.0;
+    double count_ = 0.0;
+};
+
+/** Fixed-bucket histogram over small non-negative integers. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 64) : buckets_(buckets, 0) {}
+
+    void
+    add(std::size_t v)
+    {
+        if (v >= buckets_.size())
+            v = buckets_.size() - 1;
+        ++buckets_[v];
+        ++total_;
+    }
+
+    std::uint64_t count(std::size_t v) const { return buckets_.at(v); }
+    std::uint64_t total() const { return total_; }
+
+    /** Mean of the recorded values (overflow bucket counted at its index). */
+    double mean() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric mean of a vector of strictly positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Minimum / maximum helpers that tolerate empty input (returning 0). */
+double vecMin(const std::vector<double> &values);
+double vecMax(const std::vector<double> &values);
+
+/**
+ * A tiny registry mapping stat names to counter values, used by modules to
+ * expose internal occurrence counts without hard-coding a schema.
+ */
+class StatSet
+{
+  public:
+    std::uint64_t &operator[](const std::string &name) { return counters_[name]; }
+
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, std::uint64_t> &all() const { return counters_; }
+
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[k, v] : other.counters_)
+            counters_[k] += v;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_COMMON_STATS_H

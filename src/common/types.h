@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef BTBSIM_COMMON_TYPES_H
+#define BTBSIM_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace btbsim {
+
+/** A byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Instruction size of the abstract fixed-length ISA (ARMv8-like). */
+inline constexpr Addr kInstBytes = 4;
+
+/** Cache line size, also the region size of the default R-BTB. */
+inline constexpr Addr kLineBytes = 64;
+
+/** Align @p a down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr a, Addr align)
+{
+    return a & ~(align - 1);
+}
+
+/** Align @p a up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr a, Addr align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace btbsim
+
+#endif // BTBSIM_COMMON_TYPES_H

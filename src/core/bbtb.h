@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Block BTB: one dynamic instruction block per entry, with N branch slots.
+ *
+ * A block is a run of at most @c reach_instrs instructions starting at a
+ * control-flow-target (or fall-through) address. Following the paper's
+ * baseline (Section 2.3), sometimes-taken conditional branches do NOT end
+ * a block — the block falls through until the reach limit, keeping the
+ * fall-through address computable in parallel with the BTB access.
+ * Always-taken-class branches (unconditional jumps, calls, returns,
+ * indirects) end the block at their offset.
+ *
+ * With @c split (Section 6.3), a supernumerary taken branch splits the
+ * entry after its n-th slot instead of displacing another branch.
+ */
+
+#ifndef BTBSIM_CORE_BBTB_H
+#define BTBSIM_CORE_BBTB_H
+
+#include <vector>
+
+#include "core/btb_org.h"
+
+namespace btbsim {
+
+class BlockBtb : public BtbOrg
+{
+  public:
+    explicit BlockBtb(const BtbConfig &cfg);
+
+    int beginAccess(Addr pc) override;
+    StepView step(Addr pc) override;
+    bool chainTaken(Addr pc, Addr target) override;
+    void update(const Instruction &br, bool resteer) override;
+    OccupancySample sampleOccupancy() const override;
+    const BtbConfig &config() const override { return cfg_; }
+
+  private:
+    struct Slot
+    {
+        std::uint32_t offset = 0; ///< Byte offset within the block.
+        BranchClass type = BranchClass::kNone;
+        Addr target = 0;
+        std::uint64_t tick = 0;
+    };
+
+    struct Entry
+    {
+        std::vector<Slot> slots;    ///< Kept sorted by offset.
+        std::uint32_t end_bytes = 0; ///< Block extent from its start.
+        bool split = false;
+    };
+
+    BtbConfig cfg_;
+    TwoLevelTable<Entry> table_;
+    std::uint64_t tick_ = 0;
+
+    // Current access window.
+    Addr block_start_ = 0;
+    Addr window_end_ = 0;
+    Entry *entry_ = nullptr;
+    int level_ = 0;
+
+    // Update-side cursor: start of the dynamic block being trained.
+    Addr cur_block_ = 0;
+    bool cur_valid_ = false;
+
+    Addr reachBytes() const { return Addr{cfg_.reach_instrs} * kInstBytes; }
+
+    /** Extent of the (possibly missing) block starting at @p start. */
+    std::uint32_t blockEnd(Addr start) const;
+
+    void normalizeCursor(Addr pc);
+    void insertTaken(const Instruction &br);
+    void insertSlotInto(Entry &e, Addr block_start, const Instruction &br,
+                        bool &overflowed, Slot &staged_out);
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_BBTB_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * BTB organization descriptors: every configuration evaluated in the paper
+ * is expressible as a BtbConfig value.
+ */
+
+#ifndef BTBSIM_CORE_BTB_CONFIG_H
+#define BTBSIM_CORE_BTB_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace btbsim {
+
+/** The three classical organizations plus the proposed MultiBlock BTB
+ *  and the heterogeneous hierarchy the paper leaves as future work. */
+enum class BtbKind : std::uint8_t {
+    kInstruction, ///< One branch per entry (I-BTB).
+    kRegion,      ///< One aligned memory region per entry (R-BTB).
+    kBlock,       ///< One dynamic instruction block per entry (B-BTB).
+    kMultiBlock,  ///< Chained blocks per entry (MB-BTB, Section 6.4).
+    kHetero,      ///< Block L1 backed by a region L2 (Section 3.6.2).
+};
+
+/** Which branches may pull their target block into the entry (MB-BTB). */
+enum class PullPolicy : std::uint8_t {
+    kNone,      ///< Plain B-BTB behaviour.
+    kUncondDir, ///< Unconditional direct jumps only (excluding calls).
+    kCallDir,   ///< + direct calls.
+    kAllBr,     ///< + always-taken conditionals and stable indirects.
+};
+
+/** Geometry of one BTB level. */
+struct BtbLevelGeom
+{
+    unsigned sets = 512;
+    unsigned ways = 6;
+
+    unsigned entries() const { return sets * ways; }
+};
+
+/** Full description of a BTB hierarchy configuration. */
+struct BtbConfig
+{
+    BtbKind kind = BtbKind::kInstruction;
+
+    /** Branch slots per entry (R-/B-/MB-BTB). */
+    unsigned branch_slots = 1;
+
+    /** I-BTB: fetch PCs per access (number of banks). */
+    unsigned width = 16;
+    /** I-BTB: idealized mode that keeps supplying PCs across taken
+     *  branches (I-BTB 16 Skp in Fig. 4). */
+    bool skip_taken = false;
+
+    /** R-BTB: region size in bytes. */
+    unsigned region_bytes = 64;
+    /** R-BTB: even/odd set interleaved L1 serving two sequential regions
+     *  per cycle (2L1 R-BTB, Section 6.2). */
+    bool dual_region = false;
+
+    /** B-/MB-BTB: entry reach in instructions (block size). */
+    unsigned reach_instrs = 16;
+    /** B-/MB-BTB: allow entry splitting (Section 6.3). */
+    bool split = false;
+    /** B-BTB ablation (Section 2.3): end blocks at sometimes-taken
+     *  conditionals (Yeh/Patt-style) instead of falling through to the
+     *  reach limit. Trades performance for the storage the paper
+     *  discusses (the fall-through must be stored in the entry). */
+    bool cond_ends_block = false;
+
+    /** MB-BTB: pull policy and indirect stability threshold. */
+    PullPolicy pull = PullPolicy::kNone;
+    unsigned stability_threshold = 63;
+    /** MB-BTB ablation (Section 6.4.2): allow the last branch slot to
+     *  pull its target block (the paper disallows it, finding a slight
+     *  advantage from the reduced redundancy). */
+    bool allow_last_slot_pull = false;
+
+    /** Hierarchy geometry; with @c ideal only @c l1 is used. */
+    BtbLevelGeom l1{512, 6};
+    BtbLevelGeom l2{1024, 13};
+    bool ideal = false;
+    unsigned l2_penalty = 3; ///< Bubbles on an L2-hit taken branch.
+
+    /** Human-readable configuration name used in reports. */
+    std::string name() const;
+
+    // ---- geometry helpers (Section 6.1 sizing) ---------------------------
+
+    /** Table 1 realistic geometry for @p slots branch slots per entry. */
+    static void realGeometry(unsigned slots, BtbLevelGeom &l1, BtbLevelGeom &l2);
+
+    // ---- presets ----------------------------------------------------------
+
+    static BtbConfig ibtb(unsigned width = 16, bool skip = false);
+    static BtbConfig rbtb(unsigned slots, unsigned region_bytes = 64,
+                          bool dual = false);
+    static BtbConfig bbtb(unsigned slots, bool split = false,
+                          unsigned reach = 16);
+    static BtbConfig mbbtb(unsigned slots, PullPolicy pull,
+                           unsigned reach = 16);
+    /** Heterogeneous hierarchy: block-organized L1 (slots, optional
+     *  splitting) backed by a region-organized L2 (Section 3.6.2). */
+    static BtbConfig hetero(unsigned slots, bool split = true,
+                            unsigned reach = 16);
+
+    /** Turn any preset into the idealistic 512K-entry, 0-penalty variant. */
+    BtbConfig &makeIdeal();
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_BTB_CONFIG_H

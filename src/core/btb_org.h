@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Abstract BTB organization interface and the two-level storage helper.
+ *
+ * The frontend's PC-generation stage performs one BTB *access* per cycle
+ * (two region probes for the 2L1 R-BTB). An access opens a window of
+ * instruction PCs the organization can supply; PcGen walks the actual
+ * trace through that window with step(), asking at each PC whether the
+ * organization tracks a branch there and with what metadata. This keeps
+ * the organizations swappable exactly as the paper requires while letting
+ * the trace-driven frontend detect every divergence class (BTB miss,
+ * branch-slot miss, stale target, direction mispredict).
+ */
+
+#ifndef BTBSIM_CORE_BTB_ORG_H
+#define BTBSIM_CORE_BTB_ORG_H
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/btb_config.h"
+#include "core/set_assoc.h"
+#include "trace/instruction.h"
+
+namespace btbsim {
+
+/** What the organization says about one PC inside the current access. */
+struct StepView
+{
+    enum class Kind : std::uint8_t {
+        kEndOfWindow, ///< PC is outside what this access can supply.
+        kSequential,  ///< PC supplied; no tracked branch here.
+        kBranch,      ///< PC supplied; a tracked branch lives here.
+    };
+
+    Kind kind = Kind::kEndOfWindow;
+    BranchClass type = BranchClass::kNone; ///< kBranch: stored type.
+    Addr target = 0;                       ///< kBranch: stored target.
+    bool follow = false; ///< kBranch: taking it continues in-entry (MB).
+    /** kBranch: the entry holds no fall-through for this slot, so a
+     *  not-taken prediction must end the access (MB-BTB pulled slots). */
+    bool end_on_not_taken = false;
+    int level = 0; ///< BTB level supplying this info (1 or 2).
+};
+
+/** Periodic structure sample (Sections 5 and 6.1 metrics). */
+struct OccupancySample
+{
+    double l1_slot_occupancy = 0.0; ///< Used slots per valid L1 entry.
+    double l2_slot_occupancy = 0.0;
+    double l1_redundancy = 0.0; ///< Avg entries tracking each branch PC.
+    double l2_redundancy = 0.0;
+    std::uint64_t l1_entries = 0;
+    std::uint64_t l2_entries = 0;
+};
+
+/**
+ * A BTB organization over a two-level hierarchy.
+ *
+ * Protocol per access: beginAccess(pc) once, then step(pc) for successive
+ * PCs along the (actual) path. When a tracked branch is predicted taken
+ * and its prediction verified correct, PcGen either ends the access or —
+ * if the view had @c follow set — calls chainTaken() to continue the same
+ * access at the target (MB-BTB multi-block supply, I-BTB Skp).
+ *
+ * update() is called for every actual branch instruction in program order
+ * (immediate update, per Section 4.1).
+ */
+class BtbOrg
+{
+  public:
+    virtual ~BtbOrg() = default;
+
+    /** Start an access at @p pc. @return hit level (0 = miss, 1, 2). */
+    virtual int beginAccess(Addr pc) = 0;
+
+    /** Query the current access about @p pc. */
+    virtual StepView step(Addr pc) = 0;
+
+    /**
+     * Continue the current access across the taken tracked branch at
+     * @p pc toward @p target. @return true if the access keeps supplying
+     * PCs at @p target (no new access, no bubble).
+     */
+    virtual bool chainTaken(Addr pc, Addr target) = 0;
+
+    /**
+     * Train with the actual branch @p br. @p resteer is true when the
+     * frontend was redirected at this branch (any misfetch/mispredict).
+     */
+    virtual void update(const Instruction &br, bool resteer) = 0;
+
+    /**
+     * Decode-based prefill (Boomerang-style, Section 7.3): insert a
+     * branch discovered by predecoding a fetched I-cache line. Only
+     * meaningful for organizations whose entries are not tied to the
+     * dynamic block structure (I-BTB, R-BTB); the default ignores it —
+     * matching the paper's observation that decode-based prefetching
+     * "may not always be able to chain blocks".
+     */
+    virtual void prefill(const Instruction &br) { (void)br; }
+
+    /** Sample slot occupancy and redundancy across the structure. */
+    virtual OccupancySample sampleOccupancy() const = 0;
+
+    virtual const BtbConfig &config() const = 0;
+
+    /** Bubbles charged when a taken branch was supplied by @p level. */
+    unsigned
+    takenPenalty(int level) const
+    {
+        if (level >= 2)
+            return config().l2_penalty;
+        return 0;
+    }
+
+    /// Occurrence counters (accesses, hits per level, etc.).
+    StatSet stats;
+};
+
+/**
+ * Two-level inclusive storage shared by all organizations. L2 is the
+ * backing level; L1 hits are fast (0-cycle turnaround), L2 hits fill into
+ * L1 and charge the taken-branch penalty. With BtbConfig::ideal, only a
+ * single huge 0-penalty level exists.
+ */
+template <typename Entry>
+class TwoLevelTable
+{
+  public:
+    TwoLevelTable(const BtbConfig &cfg, unsigned index_shift)
+        : ideal_(cfg.ideal),
+          l1_(cfg.ideal ? 16384 : cfg.l1.sets, cfg.ideal ? 32 : cfg.l1.ways,
+              index_shift),
+          l2_(cfg.ideal ? 1 : cfg.l2.sets, cfg.ideal ? 1 : cfg.l2.ways,
+              index_shift)
+    {}
+
+    /**
+     * Hierarchy lookup. On an L2 hit the entry is filled into L1.
+     * @return {entry pointer or nullptr, level (0/1/2)}.
+     */
+    std::pair<Entry *, int>
+    lookup(Addr key)
+    {
+        if (Entry *e = l1_.find(key))
+            return {e, 1};
+        if (ideal_)
+            return {nullptr, 0};
+        if (Entry *e = l2_.find(key)) {
+            Entry &filled = l1_.fill(key, *e);
+            return {&filled, 2};
+        }
+        return {nullptr, 0};
+    }
+
+    /** Lookup without LRU update or fill (stats probes). */
+    const Entry *
+    peek(Addr key) const
+    {
+        if (const Entry *e = l1_.peek(key))
+            return e;
+        if (!ideal_)
+            return l2_.peek(key);
+        return nullptr;
+    }
+
+    /**
+     * Find the entry for updating: L1 first, then L2 (without promoting).
+     * @return pointers to the L1 and L2 copies (either may be null).
+     */
+    std::pair<Entry *, Entry *>
+    findBoth(Addr key)
+    {
+        Entry *a = l1_.find(key);
+        Entry *b = ideal_ ? nullptr : l2_.find(key);
+        return {a, b};
+    }
+
+    /** Allocate in both levels (immediate update, inclusive fill). */
+    std::pair<Entry *, Entry *>
+    allocate(Addr key)
+    {
+        Entry *a = &l1_.insert(key);
+        Entry *b = ideal_ ? nullptr : &l2_.insert(key);
+        return {a, b};
+    }
+
+    /** Write @p value through to both levels. */
+    void
+    writeBoth(Addr key, const Entry &value)
+    {
+        if (Entry *e = l1_.find(key))
+            *e = value;
+        if (!ideal_)
+            if (Entry *e = l2_.find(key))
+                *e = value;
+    }
+
+    /** Write @p value to both levels, allocating where absent. */
+    void
+    upsert(Addr key, const Entry &value)
+    {
+        if (Entry *e = l1_.find(key))
+            *e = value;
+        else
+            l1_.fill(key, value);
+        if (!ideal_) {
+            if (Entry *e = l2_.find(key))
+                *e = value;
+            else
+                l2_.fill(key, value);
+        }
+    }
+
+    /** Authoritative copy for read-modify-write updates: L2 when present
+     *  (it outlives L1 residency), else L1. */
+    const Entry *
+    peekAuthoritative(Addr key) const
+    {
+        if (!ideal_)
+            if (const Entry *e = l2_.peek(key))
+                return e;
+        return l1_.peek(key);
+    }
+
+    SetAssocTable<Entry> &l1() { return l1_; }
+    SetAssocTable<Entry> &l2() { return l2_; }
+    const SetAssocTable<Entry> &l1() const { return l1_; }
+    const SetAssocTable<Entry> &l2() const { return l2_; }
+    bool ideal() const { return ideal_; }
+
+  private:
+    bool ideal_;
+    SetAssocTable<Entry> l1_;
+    SetAssocTable<Entry> l2_;
+};
+
+/** Construct the organization described by @p cfg. */
+std::unique_ptr<BtbOrg> makeBtb(const BtbConfig &cfg);
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_BTB_ORG_H

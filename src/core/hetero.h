@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Heterogeneous BTB hierarchy (Section 3.6.2, left as future work by the
+ * paper): a block-organized L1 — the organization best suited for 0-cycle
+ * turnaround — backed by a region-organized L2, which stores each branch
+ * exactly once and therefore wastes none of its capacity on the metadata
+ * redundancy a homogeneous B-BTB hierarchy suffers from.
+ *
+ * On an L1 miss, the region entries covering the missing block are read
+ * from the L2 and a block entry is synthesized into the L1 (charging the
+ * usual L2 taken-branch penalty). Updates train both levels: the L1 like
+ * a Block BTB (with optional entry splitting), the L2 like a Region BTB.
+ */
+
+#ifndef BTBSIM_CORE_HETERO_H
+#define BTBSIM_CORE_HETERO_H
+
+#include <vector>
+
+#include "core/btb_org.h"
+
+namespace btbsim {
+
+class HeteroBtb : public BtbOrg
+{
+  public:
+    explicit HeteroBtb(const BtbConfig &cfg);
+
+    int beginAccess(Addr pc) override;
+    StepView step(Addr pc) override;
+    bool chainTaken(Addr pc, Addr target) override;
+    void update(const Instruction &br, bool resteer) override;
+    void prefill(const Instruction &br) override;
+    OccupancySample sampleOccupancy() const override;
+    const BtbConfig &config() const override { return cfg_; }
+
+    /** Branch slots per L2 region entry. */
+    static constexpr unsigned kRegionSlots = 4;
+
+  private:
+    struct Slot
+    {
+        std::uint32_t offset = 0;
+        BranchClass type = BranchClass::kNone;
+        Addr target = 0;
+        std::uint64_t tick = 0;
+    };
+
+    /** L1 payload: one dynamic block (B-BTB style). */
+    struct BlockEntry
+    {
+        std::vector<Slot> slots; ///< Sorted by offset.
+        std::uint32_t end_bytes = 0;
+        bool split = false;
+    };
+
+    /** L2 payload: one aligned region (R-BTB style, no redundancy). */
+    struct RegionEntry
+    {
+        std::vector<Slot> slots;
+    };
+
+    BtbConfig cfg_;
+    SetAssocTable<BlockEntry> l1_;
+    SetAssocTable<RegionEntry> l2_;
+    std::uint64_t tick_ = 0;
+
+    // Access state.
+    BlockEntry *entry_ = nullptr;
+    int level_ = 0;
+    Addr block_start_ = 0;
+    Addr window_end_ = 0;
+
+    // Update-side cursor (start of the dynamic block being trained).
+    Addr cur_block_ = 0;
+    bool cur_valid_ = false;
+
+    Addr reachBytes() const { return Addr{cfg_.reach_instrs} * kInstBytes; }
+    Addr regionBase(Addr pc) const { return alignDown(pc, cfg_.region_bytes); }
+
+    std::uint32_t blockEnd(Addr start) const;
+    void normalizeCursor(Addr pc);
+    BlockEntry *synthesizeFromL2(Addr start);
+    void insertIntoBlock(Addr block, Addr pc, BranchClass type, Addr target);
+    void insertIntoRegion(Addr pc, BranchClass type, Addr target);
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_HETERO_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Instruction BTB: one branch per entry (the "classical" organization).
+ *
+ * An access models @c width banked probes with consecutive instruction
+ * addresses, supplying up to @c width fetch PCs and ending at the first
+ * predicted-taken branch. With @c skip_taken (I-BTB 16 Skp, Fig. 4), the
+ * access keeps supplying PCs across taken branches — an idealization used
+ * to gauge sensitivity to fetch-PC throughput.
+ */
+
+#ifndef BTBSIM_CORE_IBTB_H
+#define BTBSIM_CORE_IBTB_H
+
+#include "core/btb_org.h"
+
+namespace btbsim {
+
+class InstructionBtb : public BtbOrg
+{
+  public:
+    explicit InstructionBtb(const BtbConfig &cfg);
+
+    int beginAccess(Addr pc) override;
+    StepView step(Addr pc) override;
+    bool chainTaken(Addr pc, Addr target) override;
+    void update(const Instruction &br, bool resteer) override;
+    void prefill(const Instruction &br) override;
+    OccupancySample sampleOccupancy() const override;
+    const BtbConfig &config() const override { return cfg_; }
+
+  private:
+    struct Entry
+    {
+        BranchClass type = BranchClass::kNone;
+        Addr target = 0;
+    };
+
+    BtbConfig cfg_;
+    TwoLevelTable<Entry> table_;
+
+    unsigned supplied_ = 0; ///< Fetch PCs supplied by the current access.
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_IBTB_H

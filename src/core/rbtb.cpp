@@ -1,0 +1,170 @@
+#include "core/rbtb.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace btbsim {
+
+RegionBtb::RegionBtb(const BtbConfig &cfg)
+    : cfg_(cfg), table_(cfg, log2i(cfg.region_bytes))
+{}
+
+int
+RegionBtb::beginAccess(Addr pc)
+{
+    ++stats["accesses"];
+    region0_ = regionBase(pc);
+    window_end_ = region0_ + cfg_.region_bytes;
+    entry1_ = nullptr;
+    level1_ = 0;
+
+    auto [e0, lvl0] = table_.lookup(region0_);
+    entry0_ = e0;
+    level0_ = lvl0;
+
+    if (cfg_.dual_region) {
+        // The interleaved L1 can serve the next sequential region in the
+        // same cycle, but only on an L1 hit (the L2 is not interleaved).
+        const Addr region1 = region0_ + cfg_.region_bytes;
+        if (Entry *e1 = table_.l1().find(region1)) {
+            entry1_ = e1;
+            level1_ = 1;
+            window_end_ = region1 + cfg_.region_bytes;
+        }
+    }
+    return level0_;
+}
+
+StepView
+RegionBtb::step(Addr pc)
+{
+    StepView v;
+    if (pc < region0_ || pc >= window_end_)
+        return v; // kEndOfWindow
+
+    Entry *e = entry0_;
+    int level = level0_;
+    if (pc >= region0_ + cfg_.region_bytes) {
+        e = entry1_;
+        level = level1_;
+    }
+
+    v.kind = StepView::Kind::kSequential;
+    if (!e)
+        return v;
+
+    const auto offset =
+        static_cast<std::uint32_t>(pc - alignDown(pc, cfg_.region_bytes));
+    for (Slot &s : e->slots) {
+        if (s.offset == offset && s.type != BranchClass::kNone) {
+            v.kind = StepView::Kind::kBranch;
+            v.type = s.type;
+            v.target = s.target;
+            v.level = level;
+            s.tick = ++tick_;
+            return v;
+        }
+    }
+    return v;
+}
+
+bool
+RegionBtb::chainTaken(Addr pc, Addr target)
+{
+    (void)pc;
+    (void)target;
+    return false; // R-BTB never supplies PCs across a taken branch.
+}
+
+void
+RegionBtb::applySlotUpdate(const Instruction &br)
+{
+    const Addr region = regionBase(br.pc);
+    const auto offset = static_cast<std::uint32_t>(br.pc - region);
+
+    auto [l1, l2] = table_.findBoth(region);
+    if (!l1 && !l2) {
+        auto [a, b] = table_.allocate(region);
+        l1 = a;
+        l2 = b;
+        ++stats["allocs"];
+    }
+
+    bool displaced = false;
+    for (Entry *e : {l1, l2}) {
+        if (!e)
+            continue;
+        Slot *hit = nullptr;
+        for (Slot &s : e->slots)
+            if (s.offset == offset)
+                hit = &s;
+        if (!hit) {
+            if (e->slots.size() < cfg_.branch_slots) {
+                e->slots.emplace_back();
+                hit = &e->slots.back();
+            } else {
+                // Slot contention: displace the least recently used slot.
+                hit = &*std::min_element(
+                    e->slots.begin(), e->slots.end(),
+                    [](const Slot &a, const Slot &b) { return a.tick < b.tick; });
+                displaced = true;
+            }
+            hit->offset = offset;
+        }
+        hit->type = br.branch;
+        hit->target = br.takenTarget();
+        hit->tick = ++tick_;
+    }
+    if (displaced)
+        ++stats["slot_displacements"];
+}
+
+void
+RegionBtb::update(const Instruction &br, bool resteer)
+{
+    (void)resteer;
+    if (!br.taken)
+        return;
+    applySlotUpdate(br);
+}
+
+void
+RegionBtb::prefill(const Instruction &br)
+{
+    // Non-destructive prefill: never displace demand-trained slots, and
+    // skip branches already visible through their region entry.
+    const Addr region = regionBase(br.pc);
+    const auto offset = static_cast<std::uint32_t>(br.pc - region);
+    if (const Entry *e = table_.peek(region)) {
+        for (const Slot &s : e->slots)
+            if (s.offset == offset)
+                return;
+        if (e->slots.size() >= cfg_.branch_slots)
+            return; // Entry full: a prefill must not evict training.
+    }
+    applySlotUpdate(br);
+    ++stats["prefills"];
+}
+
+OccupancySample
+RegionBtb::sampleOccupancy() const
+{
+    OccupancySample s;
+    auto probe = [](const SetAssocTable<Entry> &t, double &occ,
+                    std::uint64_t &n) {
+        std::uint64_t entries = 0, slots = 0;
+        t.forEach([&](Addr, const Entry &e) {
+            ++entries;
+            slots += e.slots.size();
+        });
+        n = entries;
+        occ = entries ? static_cast<double>(slots) / entries : 0.0;
+    };
+    probe(table_.l1(), s.l1_slot_occupancy, s.l1_entries);
+    probe(table_.l2(), s.l2_slot_occupancy, s.l2_entries);
+    s.l1_redundancy = 1.0; // A branch lives in at most one region entry.
+    s.l2_redundancy = 1.0;
+    return s;
+}
+
+} // namespace btbsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Region BTB: one aligned memory region per entry, with N branch slots.
+ *
+ * An access covers the region containing the fetch PC; with
+ * @c dual_region (2L1 R-BTB, Section 6.2), the window extends into the
+ * next sequential region when — and only when — that region's entry hits
+ * the L1 (even/odd set interleaving only doubles L1 bandwidth).
+ */
+
+#ifndef BTBSIM_CORE_RBTB_H
+#define BTBSIM_CORE_RBTB_H
+
+#include <vector>
+
+#include "core/btb_org.h"
+
+namespace btbsim {
+
+class RegionBtb : public BtbOrg
+{
+  public:
+    explicit RegionBtb(const BtbConfig &cfg);
+
+    int beginAccess(Addr pc) override;
+    StepView step(Addr pc) override;
+    bool chainTaken(Addr pc, Addr target) override;
+    void update(const Instruction &br, bool resteer) override;
+    void prefill(const Instruction &br) override;
+    OccupancySample sampleOccupancy() const override;
+    const BtbConfig &config() const override { return cfg_; }
+
+  private:
+    struct Slot
+    {
+        std::uint32_t offset = 0; ///< Byte offset within the region.
+        BranchClass type = BranchClass::kNone;
+        Addr target = 0;
+        std::uint64_t tick = 0; ///< Slot-LRU recency.
+    };
+
+    struct Entry
+    {
+        std::vector<Slot> slots;
+    };
+
+    BtbConfig cfg_;
+    TwoLevelTable<Entry> table_;
+    std::uint64_t tick_ = 0;
+
+    // Current access window.
+    Addr region0_ = 0;
+    Addr window_end_ = 0;
+    Entry *entry0_ = nullptr;
+    Entry *entry1_ = nullptr; ///< Second region (dual_region only).
+    int level0_ = 0;
+    int level1_ = 0;
+
+    Addr regionBase(Addr pc) const { return alignDown(pc, cfg_.region_bytes); }
+
+    void applySlotUpdate(const Instruction &br);
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_RBTB_H

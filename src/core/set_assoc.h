@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Generic set-associative table with true-LRU replacement, shared by the
+ * BTB organizations, caches and TLBs.
+ */
+
+#ifndef BTBSIM_CORE_SET_ASSOC_H
+#define BTBSIM_CORE_SET_ASSOC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace btbsim {
+
+/**
+ * Set-associative container keyed by address. @p Entry must be default
+ * constructible; the table wraps it with validity, key and LRU state.
+ *
+ * @tparam Entry payload type.
+ */
+template <typename Entry>
+class SetAssocTable
+{
+  public:
+    struct Way
+    {
+        bool valid = false;
+        Addr key = 0;
+        std::uint64_t lru = 0;
+        Entry data{};
+    };
+
+    /**
+     * @param sets Number of sets (any positive value; non-power-of-two is
+     *             handled with modulo indexing).
+     * @param ways Associativity.
+     * @param index_shift Right shift applied to the key before set
+     *                    selection (e.g., 6 for 64B-granular keys).
+     */
+    SetAssocTable(unsigned sets, unsigned ways, unsigned index_shift)
+        : sets_(sets), ways_(ways), shift_(index_shift),
+          array_(static_cast<std::size_t>(sets) * ways)
+    {}
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    std::size_t capacity() const { return array_.size(); }
+
+    /** Find the entry for @p key; returns nullptr on miss. Touches LRU. */
+    Entry *
+    find(Addr key)
+    {
+        Way *w = findWay(key);
+        if (!w)
+            return nullptr;
+        w->lru = ++tick_;
+        return &w->data;
+    }
+
+    /** Find without touching LRU (stats probes). */
+    const Entry *
+    peek(Addr key) const
+    {
+        const std::size_t base = setBase(key);
+        for (unsigned i = 0; i < ways_; ++i) {
+            const Way &w = array_[base + i];
+            if (w.valid && w.key == key)
+                return &w.data;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a fresh (default-constructed) entry for @p key, evicting the
+     * LRU way if needed. If @p key already resides, its payload is reset.
+     * @return reference to the (reset) payload.
+     */
+    Entry &
+    insert(Addr key)
+    {
+        const std::size_t base = setBase(key);
+        Way *victim = nullptr;
+        for (unsigned i = 0; i < ways_; ++i) {
+            Way &w = array_[base + i];
+            if (w.valid && w.key == key) {
+                victim = &w;
+                break;
+            }
+            if (!w.valid) {
+                if (!victim || victim->valid)
+                    victim = &w;
+            } else if (!victim || (victim->valid && w.lru < victim->lru)) {
+                victim = &w;
+            }
+        }
+        if (victim->valid && victim->key != key)
+            ++evictions_;
+        victim->valid = true;
+        victim->key = key;
+        victim->lru = ++tick_;
+        victim->data = Entry{};
+        return victim->data;
+    }
+
+    /** Insert @p key with a copy of @p value (hierarchy fills). */
+    Entry &
+    fill(Addr key, const Entry &value)
+    {
+        Entry &e = insert(key);
+        e = value;
+        return e;
+    }
+
+    /** Remove @p key if present. */
+    void
+    erase(Addr key)
+    {
+        Way *w = findWay(key);
+        if (w)
+            w->valid = false;
+    }
+
+    /** Invalidate everything. */
+    void
+    clear()
+    {
+        for (Way &w : array_)
+            w.valid = false;
+    }
+
+    /** Visit every valid entry: f(key, const Entry&). */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (const Way &w : array_)
+            if (w.valid)
+                f(w.key, w.data);
+    }
+
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    std::size_t
+    setBase(Addr key) const
+    {
+        return (static_cast<std::size_t>((key >> shift_) % sets_)) * ways_;
+    }
+
+    Way *
+    findWay(Addr key)
+    {
+        const std::size_t base = setBase(key);
+        for (unsigned i = 0; i < ways_; ++i) {
+            Way &w = array_[base + i];
+            if (w.valid && w.key == key)
+                return &w;
+        }
+        return nullptr;
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    unsigned shift_;
+    std::vector<Way> array_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_SET_ASSOC_H

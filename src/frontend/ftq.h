@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fetch Target Queue: the decoupling queue between PC generation and
+ * instruction fetch (Reinman et al.). One entry relates to a single cache
+ * line (Table 1), holding the fetch PCs that fall within it.
+ */
+
+#ifndef BTBSIM_FRONTEND_FTQ_H
+#define BTBSIM_FRONTEND_FTQ_H
+
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/dyn_inst.h"
+
+namespace btbsim {
+
+/** One FTQ entry: instructions within a single I-cache line. */
+struct FtqEntry
+{
+    Addr line = 0;
+    std::vector<DynInst> insts;
+    Cycle min_issue_cycle = 0; ///< Earliest I$ access (FTQ bypass when 0-delay).
+    bool issued = false;       ///< I$ access started.
+    Cycle data_ready = 0;      ///< I$ data available (valid when issued).
+    std::size_t next_idx = 0;  ///< Delivery progress within @c insts.
+};
+
+/** The queue itself (64 entries per Table 1). */
+class Ftq
+{
+  public:
+    explicit Ftq(std::size_t capacity = 64) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Append @p inst, opening a new entry when the line changes (or when
+     * the stream was redirected). @return false if a new entry was needed
+     * but the queue is full.
+     *
+     * @param new_entry Force a fresh entry even within the same line
+     *                  (redirect targets start a new fetch block).
+     */
+    bool
+    push(const DynInst &inst, Cycle now, bool bypass, bool new_entry)
+    {
+        const Addr line = alignDown(inst.in.pc, kLineBytes);
+        if (!new_entry && !entries_.empty() && !entries_.back().issued &&
+            entries_.back().line == line) {
+            entries_.back().insts.push_back(inst);
+            return true;
+        }
+        if (full())
+            return false;
+        FtqEntry e;
+        e.line = line;
+        e.min_issue_cycle = bypass ? now : now + 1;
+        e.insts.push_back(inst);
+        entries_.push_back(std::move(e));
+        return true;
+    }
+
+    /** Can a new entry be opened for @p pc without allocating? */
+    bool
+    canAccept(Addr pc, bool new_entry) const
+    {
+        const Addr line = alignDown(pc, kLineBytes);
+        if (!new_entry && !entries_.empty() && !entries_.back().issued &&
+            entries_.back().line == line)
+            return true;
+        return !full();
+    }
+
+    std::deque<FtqEntry> &entries() { return entries_; }
+    FtqEntry &front() { return entries_.front(); }
+    void popFront() { entries_.pop_front(); }
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<FtqEntry> entries_;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_FRONTEND_FTQ_H

@@ -1,0 +1,63 @@
+#include "memory/cache.h"
+
+#include <algorithm>
+
+namespace btbsim {
+
+Cache::Cache(const CacheConfig &cfg, Cache *next, Dram *dram)
+    : cfg_(cfg), next_(next), dram_(dram),
+      tags_(cfg.sets, cfg.ways, log2i(kLineBytes)),
+      mshr_free_(cfg.mshrs, 0)
+{}
+
+Cycle
+Cache::allocMshr(Cycle now)
+{
+    auto it = std::min_element(mshr_free_.begin(), mshr_free_.end());
+    if (*it > now)
+        ++stats["mshr_full_stalls"];
+    const Cycle start = std::max(now, *it);
+    return start;
+}
+
+Cycle
+Cache::accessLine(Addr line, Cycle now, bool is_prefetch)
+{
+    if (!is_prefetch) {
+        ++demand_accesses_;
+    } else {
+        ++stats["prefetches"];
+    }
+
+    if (Line *l = tags_.find(line)) {
+        // Hit, possibly on a line still in flight (MSHR merge).
+        const Cycle available = std::max(now + cfg_.latency, l->ready);
+        if (l->ready > now)
+            ++stats["mshr_merges"];
+        return available;
+    }
+
+    if (!is_prefetch)
+        ++demand_misses_;
+
+    const Cycle start = allocMshr(now);
+    Cycle done;
+    if (next_) {
+        done = next_->accessLine(line, start, is_prefetch);
+    } else {
+        done = dram_->access(line, start);
+    }
+
+    Line &l = tags_.insert(line);
+    l.ready = done;
+
+    // Charge an MSHR until the fill returns.
+    *std::min_element(mshr_free_.begin(), mshr_free_.end()) = done;
+
+    if (cfg_.next_line_prefetch && !is_prefetch)
+        accessLine(line + kLineBytes, now, true);
+
+    return done;
+}
+
+} // namespace btbsim

@@ -1,0 +1,39 @@
+#include "memory/prefetcher.h"
+
+#include "memory/cache.h"
+
+namespace btbsim {
+
+void
+IpStridePrefetcher::observe(Addr pc, Addr addr, Cycle now, Cache &cache)
+{
+    State *s = table_.find(pc);
+    if (!s) {
+        State &fresh = table_.insert(pc);
+        fresh.last_addr = addr;
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(s->last_addr);
+    if (stride != 0 && stride == s->stride) {
+        if (s->confidence < 3)
+            ++s->confidence;
+    } else {
+        s->confidence = s->confidence > 0 ? s->confidence - 1 : 0;
+        s->stride = stride;
+    }
+    s->last_addr = addr;
+
+    if (s->confidence >= 2 && s->stride != 0) {
+        for (unsigned d = 1; d <= degree_; ++d) {
+            const Addr target =
+                addr + static_cast<Addr>(s->stride * static_cast<std::int64_t>(d));
+            cache.prefetch(target, now);
+            ++issued_;
+        }
+    }
+}
+
+} // namespace btbsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IP-stride prefetcher used at the L1D (Table 1).
+ */
+
+#ifndef BTBSIM_MEMORY_PREFETCHER_H
+#define BTBSIM_MEMORY_PREFETCHER_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/set_assoc.h"
+
+namespace btbsim {
+
+class Cache;
+
+/**
+ * Classic per-PC stride detector: after two consecutive accesses from the
+ * same load PC with the same stride, prefetches @c degree strides ahead.
+ */
+class IpStridePrefetcher
+{
+  public:
+    explicit IpStridePrefetcher(unsigned entries = 256, unsigned degree = 2)
+        : table_(entries / 4, 4, 2), degree_(degree)
+    {}
+
+    /** Observe a demand load and issue prefetches into @p cache. */
+    void observe(Addr pc, Addr addr, Cycle now, Cache &cache);
+
+    std::uint64_t issued() const { return issued_; }
+
+  private:
+    struct State
+    {
+        Addr last_addr = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    SetAssocTable<State> table_;
+    unsigned degree_;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_MEMORY_PREFETCHER_H

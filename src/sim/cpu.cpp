@@ -1,0 +1,260 @@
+#include "sim/cpu.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "trace/program.h"
+
+namespace btbsim {
+
+Cpu::Cpu(const CpuConfig &cfg, TraceSource &trace)
+    : Cpu(cfg, trace, makeBtb(cfg.btb))
+{}
+
+Cpu::Cpu(const CpuConfig &cfg, TraceSource &trace,
+         std::unique_ptr<BtbOrg> org)
+    : cfg_(cfg), trace_(&trace), mem_(cfg.mem), bpred_(cfg.bpred),
+      org_(std::move(org)), ftq_(cfg.ftq_entries),
+      pcgen_(*org_, bpred_, trace, ftq_), backend_(cfg.backend, mem_)
+{
+    stats_.config = org_->config().name();
+    stats_.workload = trace.name();
+}
+
+void
+Cpu::fetchIssue()
+{
+    unsigned issues = 0;
+    for (FtqEntry &e : ftq_.entries()) {
+        if (issues >= cfg_.fetch_lines)
+            break;
+        if (e.issued)
+            continue;
+        if (e.min_issue_cycle > now_)
+            break; // Younger entries cannot be earlier.
+        const bool was_miss = !mem_.l1i().contains(e.line);
+        e.data_ready = mem_.fetchLine(e.line, now_);
+        e.issued = true;
+        ++issues;
+        if (cfg_.btb_predecode_fill && was_miss)
+            predecodeLine(e.line);
+    }
+}
+
+void
+Cpu::deliver()
+{
+    unsigned instrs = 0;
+    unsigned lines_used = 0;
+    unsigned used_interleaves = 0;
+    Addr prev_line = 0;
+    bool have_prev = false;
+
+    while (!ftq_.empty() && instrs < cfg_.fetch_width &&
+           decode_queue_.size() < cfg_.decode_queue) {
+        FtqEntry &e = ftq_.front();
+        if (!e.issued || e.data_ready > now_)
+            break; // In-order delivery.
+        // Consecutive entries for the same line share one data-array
+        // read: only a *new* line consumes a line slot and must land in
+        // a fresh interleave.
+        const bool new_line = !have_prev || e.line != prev_line;
+        if (new_line) {
+            const unsigned il = mem_.icacheInterleave(e.line);
+            if (lines_used > 0 && (used_interleaves & (1u << il)))
+                break; // Same-interleave conflict this cycle.
+            if (lines_used >= cfg_.fetch_lines)
+                break;
+            used_interleaves |= (1u << il);
+            ++lines_used;
+            prev_line = e.line;
+            have_prev = true;
+        }
+
+        bool entry_done = true;
+        while (e.next_idx < e.insts.size()) {
+            if (instrs >= cfg_.fetch_width ||
+                decode_queue_.size() >= cfg_.decode_queue) {
+                entry_done = false;
+                break;
+            }
+            decode_queue_.push_back(std::move(e.insts[e.next_idx]));
+            ++e.next_idx;
+            ++instrs;
+        }
+        if (!entry_done)
+            break;
+        ftq_.popFront();
+    }
+}
+
+void
+Cpu::decode()
+{
+    unsigned n = 0;
+    while (!decode_queue_.empty() && n < cfg_.decode_width &&
+           alloc_queue_.size() < cfg_.alloc_queue) {
+        DynInst d = std::move(decode_queue_.front());
+        decode_queue_.pop_front();
+        d.decode_cycle = now_;
+        if (d.resteer == Resteer::kDecode)
+            pcgen_.resteerResolved(now_);
+        alloc_queue_.push_back(std::move(d));
+        ++n;
+    }
+}
+
+void
+Cpu::allocate()
+{
+    unsigned n = 0;
+    while (!alloc_queue_.empty() && n < cfg_.alloc_width &&
+           backend_.canAllocate()) {
+        if (alloc_queue_.front().decode_cycle >= now_)
+            break; // Decoded this cycle; allocate next cycle.
+        DynInst d = std::move(alloc_queue_.front());
+        alloc_queue_.pop_front();
+        backend_.allocate(std::move(d), now_);
+        ++n;
+    }
+}
+
+void
+Cpu::step()
+{
+    ++now_;
+    if (backend_.takeExecResteer(now_) != 0)
+        pcgen_.resteerResolved(now_);
+    backend_.runCycle(now_);
+    allocate();
+    decode();
+    deliver();
+    pcgen_.runCycle(now_);
+    fetchIssue();
+}
+
+void
+Cpu::predecodeLine(Addr line)
+{
+    const Program *prog = trace_->codeImage();
+    if (!prog)
+        return;
+    for (Addr pc = line; pc < line + kLineBytes; pc += kInstBytes) {
+        if (pc < prog->code_base ||
+            pc >= prog->code_base + prog->footprintBytes())
+            continue;
+        const StaticInst &si = prog->insts[prog->indexOf(pc)];
+        // Only architecturally-taken direct branches have targets that
+        // predecode can compute from the instruction bytes.
+        if (si.branch != BranchClass::kUncondDirect &&
+            si.branch != BranchClass::kDirectCall)
+            continue;
+        Instruction br;
+        br.pc = pc;
+        br.cls = InstClass::kBranch;
+        br.branch = si.branch;
+        br.taken = true;
+        br.next_pc = prog->pcOf(si.target);
+        org_->prefill(br);
+    }
+}
+
+void
+Cpu::sampleStructures()
+{
+    const OccupancySample s = org_->sampleOccupancy();
+    occ_accum_.l1_slot_occupancy += s.l1_slot_occupancy;
+    occ_accum_.l2_slot_occupancy += s.l2_slot_occupancy;
+    occ_accum_.l1_redundancy += s.l1_redundancy;
+    occ_accum_.l2_redundancy += s.l2_redundancy;
+    occ_samples_ += 1.0;
+}
+
+void
+Cpu::run(std::uint64_t warmup, std::uint64_t measure)
+{
+    // ---- warmup ----------------------------------------------------------
+    const Cycle cycle_guard_per_inst = 400;
+    std::uint64_t guard =
+        (warmup + measure) * cycle_guard_per_inst + 1'000'000;
+    while (backend_.committed() < warmup) {
+        step();
+        if (now_ > guard) {
+            std::fprintf(stderr, "btbsim: deadlock guard hit (%s / %s)\n",
+                         stats_.workload.c_str(), stats_.config.c_str());
+            std::abort();
+        }
+    }
+
+    // ---- snapshot --------------------------------------------------------
+    const Cycle cycles0 = now_;
+    const std::uint64_t insts0 = backend_.committed();
+    const PcGenStats pg0 = pcgen_.stats;
+    const std::uint64_t i_miss0 = mem_.l1i().demandMisses();
+
+    // ---- measure ---------------------------------------------------------
+    const std::uint64_t sample_period = 1'000'000;
+    std::uint64_t next_sample = insts0 + sample_period;
+    const std::uint64_t end = insts0 + measure;
+    while (backend_.committed() < end) {
+        step();
+        if (backend_.committed() >= next_sample) {
+            sampleStructures();
+            next_sample += sample_period;
+        }
+        if (now_ > guard) {
+            std::fprintf(stderr, "btbsim: deadlock guard hit (%s / %s)\n",
+                         stats_.workload.c_str(), stats_.config.c_str());
+            std::abort();
+        }
+    }
+    if (occ_samples_ == 0.0)
+        sampleStructures();
+
+    // ---- reduce ----------------------------------------------------------
+    const PcGenStats &pg = pcgen_.stats;
+    const double insts =
+        static_cast<double>(backend_.committed() - insts0);
+    const double cycles = static_cast<double>(now_ - cycles0);
+    const double ki = insts / 1000.0;
+
+    stats_.instructions = backend_.committed() - insts0;
+    stats_.cycles = now_ - cycles0;
+    stats_.ipc = insts / cycles;
+    stats_.branch_mpki = (pg.mispredicts - pg0.mispredicts) / ki;
+    stats_.misfetch_pki = (pg.misfetches - pg0.misfetches) / ki;
+    stats_.combined_mpki = stats_.branch_mpki + stats_.misfetch_pki;
+
+    const double conds = static_cast<double>(pg.cond_branches - pg0.cond_branches);
+    stats_.cond_mispredict_rate = conds > 0
+        ? (pg.cond_mispredicts - pg0.cond_mispredicts) / conds : 0.0;
+
+    const double taken =
+        static_cast<double>(pg.taken_branches - pg0.taken_branches);
+    stats_.taken_per_ki = taken / ki;
+    stats_.l1_btb_hitrate = taken > 0
+        ? (pg.taken_l1_hits - pg0.taken_l1_hits) / taken : 0.0;
+    stats_.btb_hitrate = taken > 0
+        ? ((pg.taken_l1_hits - pg0.taken_l1_hits) +
+           (pg.taken_l2_hits - pg0.taken_l2_hits)) / taken
+        : 0.0;
+
+    const double accesses = static_cast<double>(pg.accesses - pg0.accesses);
+    stats_.fetch_pcs_per_access = accesses > 0
+        ? (pg.fetch_pcs - pg0.fetch_pcs) / accesses : 0.0;
+
+    const double branches = static_cast<double>(pg.branches - pg0.branches);
+    stats_.avg_dyn_bb_size = branches > 0 ? insts / branches : 0.0;
+
+    stats_.icache_mpki = (mem_.l1i().demandMisses() - i_miss0) / ki;
+
+    if (occ_samples_ > 0) {
+        stats_.l1_slot_occupancy = occ_accum_.l1_slot_occupancy / occ_samples_;
+        stats_.l2_slot_occupancy = occ_accum_.l2_slot_occupancy / occ_samples_;
+        stats_.l1_redundancy = occ_accum_.l1_redundancy / occ_samples_;
+        stats_.l2_redundancy = occ_accum_.l2_redundancy / occ_samples_;
+    }
+}
+
+} // namespace btbsim

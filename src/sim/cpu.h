@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Top-level processor model: the decoupled frontend of Fig. 3 feeding the
+ * Table 1 backend, driven cycle by cycle.
+ */
+
+#ifndef BTBSIM_SIM_CPU_H
+#define BTBSIM_SIM_CPU_H
+
+#include <deque>
+#include <memory>
+
+#include "backend/backend.h"
+#include "bpred/bpred_unit.h"
+#include "core/btb_org.h"
+#include "frontend/ftq.h"
+#include "frontend/pcgen.h"
+#include "memory/memhier.h"
+#include "sim/config.h"
+#include "sim/sim_stats.h"
+#include "trace/trace_source.h"
+
+namespace btbsim {
+
+/**
+ * The simulated core. Construction wires BP stage (BTB + predictors),
+ * FTQ, fetch, decode/allocate queues and the backend; run() executes a
+ * warmup phase followed by a measurement phase and fills stats().
+ */
+class Cpu
+{
+  public:
+    Cpu(const CpuConfig &cfg, TraceSource &trace);
+
+    /**
+     * Construct with a user-supplied BTB organization (see
+     * examples/custom_btb.cpp). @p org must be non-null; cfg.btb is used
+     * only for reporting in that case.
+     */
+    Cpu(const CpuConfig &cfg, TraceSource &trace,
+        std::unique_ptr<BtbOrg> org);
+
+    /**
+     * Simulate until @p warmup + @p measure instructions commit;
+     * statistics cover only the measurement window.
+     */
+    void run(std::uint64_t warmup, std::uint64_t measure);
+
+    const SimStats &stats() const { return stats_; }
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void step();
+
+    Cycle cycleCount() const { return now_; }
+    std::uint64_t committed() const { return backend_.committed(); }
+
+    BtbOrg &btb() { return *org_; }
+    MemHier &mem() { return mem_; }
+    const PcGenStats &pcgenStats() const { return pcgen_.stats; }
+
+  private:
+    CpuConfig cfg_;
+    TraceSource *trace_;
+
+    MemHier mem_;
+    BPredUnit bpred_;
+    std::unique_ptr<BtbOrg> org_;
+    Ftq ftq_;
+    PcGen pcgen_;
+    Backend backend_;
+
+    std::deque<DynInst> decode_queue_;
+    std::deque<DynInst> alloc_queue_;
+
+    Cycle now_ = 0;
+    SimStats stats_;
+
+    // Occupancy sampling.
+    double occ_samples_ = 0.0;
+    OccupancySample occ_accum_;
+
+    void fetchIssue();
+    void predecodeLine(Addr line);
+    void deliver();
+    void decode();
+    void allocate();
+    void sampleStructures();
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_SIM_CPU_H

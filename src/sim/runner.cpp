@@ -1,0 +1,89 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/cpu.h"
+
+namespace btbsim {
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+} // namespace
+
+RunOptions
+RunOptions::fromEnv()
+{
+    RunOptions o;
+    o.warmup = envU64("BTBSIM_WARMUP", o.warmup);
+    o.measure = envU64("BTBSIM_MEASURE", o.measure);
+    o.traces = static_cast<std::size_t>(envU64("BTBSIM_TRACES", o.traces));
+    o.threads = static_cast<unsigned>(envU64("BTBSIM_THREADS", 0));
+    return o;
+}
+
+SimStats
+runOne(const CpuConfig &cfg, const WorkloadSpec &spec, const RunOptions &opt)
+{
+    auto workload = makeWorkload(spec);
+    Cpu cpu(cfg, *workload);
+    cpu.run(opt.warmup, opt.measure);
+    return cpu.stats();
+}
+
+std::vector<SimStats>
+runMatrix(const std::vector<CpuConfig> &configs,
+          const std::vector<WorkloadSpec> &suite, const RunOptions &opt)
+{
+    struct Job
+    {
+        std::size_t cfg;
+        std::size_t wl;
+    };
+    std::vector<Job> jobs;
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        for (std::size_t w = 0; w < suite.size(); ++w)
+            jobs.push_back({c, w});
+
+    std::vector<SimStats> results(jobs.size());
+    std::atomic<std::size_t> next{0};
+
+    unsigned n_threads = opt.threads;
+    if (n_threads == 0) {
+        n_threads = std::thread::hardware_concurrency();
+        if (n_threads == 0)
+            n_threads = 4;
+    }
+    n_threads = std::min<unsigned>(n_threads,
+                                   static_cast<unsigned>(jobs.size()));
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            results[i] = runOne(configs[jobs[i].cfg], suite[jobs[i].wl], opt);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    return results;
+}
+
+} // namespace btbsim

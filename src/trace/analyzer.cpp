@@ -1,0 +1,131 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace btbsim {
+
+namespace {
+
+struct SiteStats
+{
+    std::uint64_t executions = 0;
+    std::uint64_t taken = 0;
+    BranchClass cls = BranchClass::kNone;
+    std::unordered_set<Addr> targets;
+};
+
+} // namespace
+
+TraceProperties
+analyzeTrace(TraceSource &src, std::uint64_t instructions)
+{
+    src.reset();
+
+    TraceProperties p;
+    std::unordered_map<Addr, SiteStats> sites;
+    std::unordered_map<Addr, std::uint64_t> line_counts;
+
+    std::uint64_t taken = 0;
+    for (std::uint64_t i = 0; i < instructions; ++i) {
+        const Instruction &in = src.next();
+        ++line_counts[alignDown(in.pc, kLineBytes)];
+        if (!in.isBranch())
+            continue;
+        ++p.branches;
+        if (in.taken)
+            ++taken;
+        SiteStats &s = sites[in.pc];
+        ++s.executions;
+        s.cls = in.branch;
+        if (in.taken) {
+            ++s.taken;
+            if (isIndirect(in.branch) && in.branch != BranchClass::kReturn)
+                s.targets.insert(in.next_pc);
+        }
+    }
+
+    p.instructions = instructions;
+    p.taken_branches = taken;
+    p.avg_bb_size = p.branches
+        ? static_cast<double>(instructions) / static_cast<double>(p.branches)
+        : 0.0;
+    p.avg_taken_distance = taken
+        ? static_cast<double>(instructions) / static_cast<double>(taken)
+        : 0.0;
+
+    std::uint64_t never_cond = 0, always_cond = 0, mixed_cond = 0;
+    std::uint64_t single_ind = 0, rets = 0, calls = 0, uncond = 0;
+    std::uint64_t taken_sites = 0;
+    for (const auto &[pc, s] : sites) {
+        if (s.taken > 0)
+            ++taken_sites;
+        switch (s.cls) {
+          case BranchClass::kCondDirect:
+            if (s.taken == 0)
+                never_cond += s.executions;
+            else if (s.taken == s.executions)
+                always_cond += s.executions;
+            else
+                mixed_cond += s.executions;
+            break;
+          case BranchClass::kReturn:
+            rets += s.executions;
+            break;
+          case BranchClass::kDirectCall:
+          case BranchClass::kIndirectCall:
+            calls += s.executions;
+            if (s.cls == BranchClass::kIndirectCall && s.targets.size() == 1)
+                single_ind += s.executions;
+            break;
+          case BranchClass::kIndirectJump:
+            if (s.targets.size() == 1)
+                single_ind += s.executions;
+            break;
+          case BranchClass::kUncondDirect:
+            uncond += s.executions;
+            break;
+          case BranchClass::kNone:
+            break;
+        }
+    }
+
+    const double b = std::max<double>(1.0, static_cast<double>(p.branches));
+    p.frac_never_taken_cond = never_cond / b;
+    p.frac_always_taken_cond = always_cond / b;
+    p.frac_mixed_cond = mixed_cond / b;
+    p.frac_single_target_indirect = single_ind / b;
+    p.frac_returns = rets / b;
+    p.frac_calls = calls / b;
+    p.frac_uncond_direct = uncond / b;
+    p.static_branch_sites = sites.size();
+    p.static_taken_sites = taken_sites;
+
+    // Footprint: sort lines by access count descending, take the smallest
+    // set covering 90% of dynamic instructions.
+    std::vector<std::uint64_t> counts;
+    counts.reserve(line_counts.size());
+    for (const auto &[line, c] : line_counts)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t covered = 0;
+    const std::uint64_t goal90 = instructions * 9 / 10;
+    std::uint64_t lines90 = 0;
+    for (std::uint64_t c : counts) {
+        if (covered >= goal90)
+            break;
+        covered += c;
+        ++lines90;
+    }
+    p.bytes_for_90pct = lines90 * kLineBytes;
+    p.bytes_for_100pct = counts.size() * kLineBytes;
+
+    src.reset();
+    return p;
+}
+
+} // namespace btbsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload property analyzer — measures the trace statistics the paper
+ * reports in its background and methodology sections.
+ */
+
+#ifndef BTBSIM_TRACE_ANALYZER_H
+#define BTBSIM_TRACE_ANALYZER_H
+
+#include <cstdint>
+
+#include "trace/trace_source.h"
+
+namespace btbsim {
+
+/** Aggregate properties of a dynamic instruction window. */
+struct TraceProperties
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken_branches = 0;
+
+    /** Average dynamic basic-block size (instructions per branch). */
+    double avg_bb_size = 0.0;
+    /** Average taken-to-taken distance (instructions per taken branch). */
+    double avg_taken_distance = 0.0;
+
+    /** Shares of *dynamic branches*, as the paper reports them. */
+    double frac_never_taken_cond = 0.0;
+    double frac_always_taken_cond = 0.0;
+    double frac_mixed_cond = 0.0;
+    double frac_single_target_indirect = 0.0;
+    double frac_returns = 0.0;
+    double frac_calls = 0.0;
+    double frac_uncond_direct = 0.0;
+
+    /** Distinct static branch sites observed. */
+    std::uint64_t static_branch_sites = 0;
+    /** Distinct static taken branch sites (BTB working set). */
+    std::uint64_t static_taken_sites = 0;
+
+    /** Code footprint: bytes of 64B lines covering 90% / 100% of the
+     *  dynamic instruction stream. */
+    std::uint64_t bytes_for_90pct = 0;
+    std::uint64_t bytes_for_100pct = 0;
+};
+
+/**
+ * Run @p src for @p instructions and measure its properties. The source is
+ * reset() before and after the measurement.
+ */
+TraceProperties analyzeTrace(TraceSource &src, std::uint64_t instructions);
+
+} // namespace btbsim
+
+#endif // BTBSIM_TRACE_ANALYZER_H

@@ -1,0 +1,601 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace btbsim {
+
+namespace {
+
+/** Construct kinds a statement can end with. */
+enum class Construct {
+    kNone,
+    kCheck,
+    kAlwaysIf,
+    kMixedIf,
+    kLoop,
+    kCall,
+    kICall,
+    kSwitch,
+    kJump,
+};
+
+/**
+ * Incremental program builder. Emits functions bottom-up (leaves first) so
+ * that call sites always reference already-emitted entries, then a
+ * dispatcher loop that indirectly calls the handler functions forever.
+ */
+class Builder
+{
+  public:
+    explicit Builder(const GenParams &p) : p_(p), rng_(p.seed) {}
+
+    Program
+    build()
+    {
+        prog_.name = "synthetic";
+        buildStreams();
+        planFunctions();
+
+        for (const FuncPlan &f : plans_)
+            emitFunction(f);
+
+        emitDispatcher();
+
+        assert(prog_.validate().empty());
+        return std::move(prog_);
+    }
+
+  private:
+    struct FuncPlan
+    {
+        unsigned level;          // 0 = leaf, 1 = mid, 2 = handler
+        unsigned stmts;          // statement budget
+        std::vector<std::uint32_t> callees; // indices into entries_ flat list
+    };
+
+    struct ColdFixup
+    {
+        std::uint32_t branch_idx; // the check branch to patch
+        std::uint32_t resume_idx; // where the cold block jumps back to
+        unsigned len;             // cold block length
+    };
+
+    const GenParams &p_;
+    Rng rng_;
+    Program prog_;
+
+    std::vector<FuncPlan> plans_;
+    /// Entry static index of every emitted function, in emission order.
+    std::vector<std::uint32_t> entries_;
+    /// Entries grouped by level.
+    std::vector<std::uint32_t> by_level_[3];
+
+    std::vector<std::int32_t> stack_streams_;
+    std::vector<std::int32_t> stride_streams_;
+    std::vector<std::int32_t> random_streams_;
+
+    std::vector<std::uint8_t> recent_dsts_;
+
+    // Per-function emission state.
+    std::vector<std::uint32_t> cur_callees_;
+    std::size_t callee_pos_ = 0;
+    std::vector<ColdFixup> cold_fixups_;
+
+    std::uint32_t here() const { return static_cast<std::uint32_t>(prog_.insts.size()); }
+
+    std::uint32_t
+    emit(const StaticInst &si)
+    {
+        prog_.insts.push_back(si);
+        return here() - 1;
+    }
+
+    void
+    buildStreams()
+    {
+        Addr data_base = 0x40000000ull;
+        auto add = [&](MemStream s) {
+            s.base = data_base;
+            data_base = alignUp(data_base + s.footprint + 4096, 4096);
+            prog_.streams.push_back(s);
+            return static_cast<std::int32_t>(prog_.streams.size() - 1);
+        };
+
+        for (int i = 0; i < 4; ++i) {
+            MemStream s;
+            s.kind = MemStream::Kind::kStack;
+            s.footprint = 2048 + 1024 * i;
+            stack_streams_.push_back(add(s));
+        }
+        for (int i = 0; i < 24; ++i) {
+            MemStream s;
+            s.kind = MemStream::Kind::kStride;
+            s.footprint = (16ull + rng_.nextBounded(240)) << 10;
+            const std::int64_t strides[] = {8, 16, 32, 64, 64, 128};
+            s.stride = strides[rng_.nextBounded(6)];
+            stride_streams_.push_back(add(s));
+        }
+        for (int i = 0; i < 8; ++i) {
+            MemStream s;
+            s.kind = MemStream::Kind::kRandom;
+            s.footprint = std::max<std::uint64_t>(p_.data_footprint / 8, 64 << 10);
+            random_streams_.push_back(add(s));
+        }
+    }
+
+    /**
+     * Decide how many functions to generate per level and wire the call
+     * graph so every function is reachable from some handler.
+     */
+    void
+    planFunctions()
+    {
+        // Rough instruction cost of one statement (straight run + branch
+        // and construct overhead). Used only for budgeting.
+        const double per_stmt = p_.mean_block_len + 4.5;
+
+        const unsigned handler_stmts = 48;
+        const unsigned mid_stmts = 26;
+        const unsigned leaf_stmts = 13;
+
+        const double handler_cost = p_.num_handlers * handler_stmts * per_stmt;
+        double remaining = std::max<double>(
+            static_cast<double>(p_.target_static_insts) - handler_cost,
+            2000.0);
+
+        unsigned n_leaf = std::max<unsigned>(
+            8, static_cast<unsigned>(remaining * 0.55 / (leaf_stmts * per_stmt)));
+        unsigned n_mid = std::max<unsigned>(
+            4, static_cast<unsigned>(remaining * 0.45 / (mid_stmts * per_stmt)));
+
+        auto jitter = [&](unsigned base) {
+            return std::max<unsigned>(
+                4, base / 2 + static_cast<unsigned>(rng_.nextBounded(base)));
+        };
+
+        std::uint32_t id = 0;
+        std::vector<std::uint32_t> leaf_ids, mid_ids;
+        for (unsigned i = 0; i < n_leaf; ++i) {
+            plans_.push_back({0, jitter(leaf_stmts), {}});
+            leaf_ids.push_back(id++);
+        }
+        for (unsigned i = 0; i < n_mid; ++i) {
+            plans_.push_back({1, jitter(mid_stmts), {}});
+            mid_ids.push_back(id++);
+        }
+        std::vector<std::uint32_t> handler_ids;
+        for (unsigned i = 0; i < p_.num_handlers; ++i) {
+            plans_.push_back({2, jitter(handler_stmts), {}});
+            handler_ids.push_back(id++);
+        }
+
+        // Every leaf is called by at least one mid; every mid by at least
+        // one handler; plus random extra edges for fan-in variety.
+        for (std::size_t i = 0; i < leaf_ids.size(); ++i)
+            plans_[mid_ids[i % mid_ids.size()]].callees.push_back(leaf_ids[i]);
+        for (std::size_t i = 0; i < mid_ids.size(); ++i)
+            plans_[handler_ids[i % handler_ids.size()]].callees.push_back(mid_ids[i]);
+
+        for (std::uint32_t m : mid_ids) {
+            unsigned extra = 1 + rng_.nextBounded(3);
+            for (unsigned e = 0; e < extra; ++e)
+                plans_[m].callees.push_back(
+                    leaf_ids[rng_.nextBounded(leaf_ids.size())]);
+        }
+        for (std::uint32_t h : handler_ids) {
+            unsigned extra = 2 + rng_.nextBounded(4);
+            for (unsigned e = 0; e < extra; ++e) {
+                if (rng_.nextBool(0.7)) {
+                    plans_[h].callees.push_back(
+                        mid_ids[rng_.nextBounded(mid_ids.size())]);
+                } else {
+                    plans_[h].callees.push_back(
+                        leaf_ids[rng_.nextBounded(leaf_ids.size())]);
+                }
+            }
+        }
+    }
+
+    // ---- operand and straight-line emission -----------------------------
+
+    std::uint8_t
+    pickSrc()
+    {
+        if (!recent_dsts_.empty() && rng_.nextBool(p_.dep_locality))
+            return recent_dsts_[rng_.nextBounded(recent_dsts_.size())];
+        return static_cast<std::uint8_t>(1 + rng_.nextBounded(31));
+    }
+
+    std::uint8_t
+    pickDst()
+    {
+        auto d = static_cast<std::uint8_t>(1 + rng_.nextBounded(31));
+        recent_dsts_.push_back(d);
+        if (recent_dsts_.size() > 12)
+            recent_dsts_.erase(recent_dsts_.begin());
+        return d;
+    }
+
+    std::int32_t
+    pickStream()
+    {
+        double r = rng_.nextDouble();
+        if (r < p_.frac_stream_stack)
+            return stack_streams_[rng_.nextBounded(stack_streams_.size())];
+        if (r < p_.frac_stream_stack + p_.frac_stream_stride)
+            return stride_streams_[rng_.nextBounded(stride_streams_.size())];
+        return random_streams_[rng_.nextBounded(random_streams_.size())];
+    }
+
+    StaticInst
+    makeWorker()
+    {
+        StaticInst si;
+        double r = rng_.nextDouble();
+        if (r < p_.frac_load) {
+            si.cls = InstClass::kLoad;
+            si.dst = pickDst();
+            si.src1 = pickSrc();
+            si.stream = pickStream();
+        } else if (r < p_.frac_load + p_.frac_store) {
+            si.cls = InstClass::kStore;
+            si.src1 = pickSrc();
+            si.src2 = pickSrc();
+            si.stream = pickStream();
+        } else {
+            double k = rng_.nextDouble();
+            if (k < 0.78)
+                si.cls = InstClass::kAlu;
+            else if (k < 0.86)
+                si.cls = InstClass::kMul;
+            else if (k < 0.98)
+                si.cls = InstClass::kFp;
+            else
+                si.cls = InstClass::kDiv;
+            si.dst = pickDst();
+            // A good fraction of ALU work uses immediates or values long
+            // since computed (no in-window dependency).
+            if (rng_.nextBool(0.75))
+                si.src1 = pickSrc();
+            if (rng_.nextBool(0.35))
+                si.src2 = pickSrc();
+        }
+        return si;
+    }
+
+    void
+    emitStraight(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            emit(makeWorker());
+    }
+
+    unsigned
+    blockLen()
+    {
+        // 1 + geometric with continuation tuned to the requested mean.
+        const double cont = 1.0 - 1.0 / std::max(1.0, p_.mean_block_len);
+        return 1 + rng_.nextGeometric(cont, 24);
+    }
+
+    // ---- behaviour helpers ----------------------------------------------
+
+    std::int32_t
+    addCond(const CondBehavior &b)
+    {
+        prog_.conds.push_back(b);
+        return static_cast<std::int32_t>(prog_.conds.size() - 1);
+    }
+
+    std::int32_t
+    addIndirect(IndirectBehavior b)
+    {
+        prog_.indirects.push_back(std::move(b));
+        return static_cast<std::int32_t>(prog_.indirects.size() - 1);
+    }
+
+    std::uint32_t
+    emitCondBranch(std::int32_t behavior)
+    {
+        StaticInst si;
+        si.cls = InstClass::kBranch;
+        si.branch = BranchClass::kCondDirect;
+        si.src1 = pickSrc();
+        si.behavior = behavior;
+        return emit(si);
+    }
+
+    std::uint32_t
+    emitJump()
+    {
+        StaticInst si;
+        si.cls = InstClass::kBranch;
+        si.branch = BranchClass::kUncondDirect;
+        return emit(si);
+    }
+
+    void patch(std::uint32_t idx, std::uint32_t target) { prog_.insts[idx].target = target; }
+
+    // ---- statement constructs -------------------------------------------
+
+    void
+    stmtCheck()
+    {
+        // Error-check: conditional branch to a cold block placed after the
+        // function's return; (almost) never taken.
+        CondBehavior b;
+        b.kind = CondBehavior::Kind::kBernoulli;
+        b.bias = rng_.nextBool(0.85) ? 0.0 : 0.002;
+        std::uint32_t br = emitCondBranch(addCond(b));
+        cold_fixups_.push_back({br, here(), 2 + static_cast<unsigned>(rng_.nextBounded(4))});
+    }
+
+    void
+    stmtAlwaysIf()
+    {
+        CondBehavior b;
+        b.kind = CondBehavior::Kind::kBernoulli;
+        b.bias = 1.0;
+        std::uint32_t br = emitCondBranch(addCond(b));
+        emitStraight(2 + rng_.nextBounded(4)); // dead code, never executed
+        patch(br, here());
+    }
+
+    void
+    stmtMixedIf()
+    {
+        CondBehavior b;
+        if (rng_.nextBool(p_.pattern_frac)) {
+            // Short periodic patterns: learnable only when the branch
+            // re-executes with correlated history (e.g., in loops).
+            b.kind = CondBehavior::Kind::kPattern;
+            b.pattern_len = static_cast<std::uint8_t>(2 + rng_.nextBounded(5));
+            b.pattern = rng_.next64();
+        } else {
+            // Strongly biased data-dependent branches: the dominant kind
+            // in server code, predictable at max(p, 1-p).
+            b.kind = CondBehavior::Kind::kBernoulli;
+            double r = rng_.nextDouble();
+            if (r < 0.45)
+                b.bias = 0.003 + 0.018 * rng_.nextDouble();
+            else if (r < 0.96)
+                b.bias = 0.979 + 0.018 * rng_.nextDouble();
+            else
+                b.bias = 0.3 + 0.4 * rng_.nextDouble();
+        }
+        std::uint32_t br = emitCondBranch(addCond(b)); // taken -> else
+        emitStraight(2 + rng_.nextBounded(5));         // then block
+        std::uint32_t jmp = emitJump();                // skip else
+        patch(br, here());
+        emitStraight(2 + rng_.nextBounded(5));         // else block
+        patch(jmp, here());
+    }
+
+    void
+    stmtLoop(unsigned depth, unsigned &budget)
+    {
+        CondBehavior b;
+        b.kind = CondBehavior::Kind::kLoop;
+        if (rng_.nextBool(p_.fixed_trip_frac)) {
+            std::uint32_t t = p_.min_trips +
+                static_cast<std::uint32_t>(
+                    rng_.nextBounded(p_.max_trips - p_.min_trips + 1));
+            b.min_trips = b.max_trips = t;
+        } else {
+            b.min_trips = p_.min_trips;
+            b.max_trips = p_.min_trips +
+                static_cast<std::uint32_t>(
+                    rng_.nextBounded(p_.max_trips - p_.min_trips + 1));
+        }
+        std::uint32_t header = here();
+        unsigned body_stmts = 1 + rng_.nextBounded(2);
+        body_stmts = std::min(body_stmts, std::max(1u, budget));
+        budget -= std::min(budget, body_stmts);
+        emitBody(depth + 1, body_stmts);
+        std::uint32_t br = emitCondBranch(addCond(b));
+        patch(br, header);
+    }
+
+    void
+    stmtCall()
+    {
+        StaticInst si;
+        si.cls = InstClass::kBranch;
+        si.branch = BranchClass::kDirectCall;
+        si.target = entries_[cur_callees_[callee_pos_ % cur_callees_.size()]];
+        ++callee_pos_;
+        emit(si);
+    }
+
+    void
+    stmtICall(unsigned level)
+    {
+        // Virtual-call site: targets drawn from functions below this level.
+        std::vector<std::uint32_t> pool;
+        for (unsigned l = 0; l < level; ++l)
+            pool.insert(pool.end(), by_level_[l].begin(), by_level_[l].end());
+        if (pool.empty()) {
+            emitStraight(1);
+            return;
+        }
+        IndirectBehavior b;
+        unsigned k = rng_.nextBool(p_.monomorphic_frac)
+            ? 1 : 2 + static_cast<unsigned>(rng_.nextBounded(3));
+        for (unsigned i = 0; i < k; ++i)
+            b.targets.push_back(pool[rng_.nextBounded(pool.size())]);
+        b.kind = (k == 1) ? IndirectBehavior::Kind::kFixed
+                          : IndirectBehavior::Kind::kSkewed;
+        b.skew = 0.93 + 0.06 * rng_.nextDouble();
+        StaticInst si;
+        si.cls = InstClass::kBranch;
+        si.branch = BranchClass::kIndirectCall;
+        si.src1 = pickSrc();
+        si.behavior = addIndirect(std::move(b));
+        emit(si);
+    }
+
+    void
+    stmtSwitch()
+    {
+        // Monomorphic sites model computed gotos / function-pointer jumps
+        // that always land on the same label (the paper's "indirect
+        // branches that always jump to the same target", 9.1% dynamic).
+        unsigned k = rng_.nextBool(p_.monomorphic_frac)
+            ? 1 : 2 + static_cast<unsigned>(rng_.nextBounded(4));
+        StaticInst si;
+        si.cls = InstClass::kBranch;
+        si.branch = BranchClass::kIndirectJump;
+        si.src1 = pickSrc();
+        std::uint32_t ij = emit(si);
+
+        IndirectBehavior b;
+        b.kind = k == 1 ? IndirectBehavior::Kind::kFixed
+                        : (rng_.nextBool(0.1)
+                               ? IndirectBehavior::Kind::kRoundRobin
+                               : IndirectBehavior::Kind::kSkewed);
+        b.skew = 0.93 + 0.06 * rng_.nextDouble();
+
+        std::vector<std::uint32_t> exit_jumps;
+        for (unsigned c = 0; c < k; ++c) {
+            b.targets.push_back(here());
+            emitStraight(2 + rng_.nextBounded(5));
+            exit_jumps.push_back(emitJump());
+        }
+        for (std::uint32_t j : exit_jumps)
+            patch(j, here());
+        prog_.insts[ij].behavior = addIndirect(std::move(b));
+    }
+
+    void
+    stmtJump()
+    {
+        std::uint32_t j = emitJump();
+        emitStraight(1 + rng_.nextBounded(3)); // dead padding
+        patch(j, here());
+    }
+
+    // ---- function emission ----------------------------------------------
+
+    Construct
+    pickConstruct(unsigned depth, bool have_callees, unsigned level)
+    {
+        struct Choice { Construct c; double w; };
+        const Choice choices[] = {
+            {Construct::kCheck, p_.w_check},
+            {Construct::kAlwaysIf, p_.w_always_if},
+            {Construct::kMixedIf, p_.w_mixed_if},
+            {Construct::kLoop, depth < 2 ? p_.w_loop : 0.0},
+            {Construct::kCall, have_callees ? p_.w_call : 0.0},
+            {Construct::kICall, level > 0 ? p_.w_icall : 0.0},
+            {Construct::kSwitch, p_.w_switch},
+            {Construct::kJump, p_.w_jump},
+        };
+        double total = 0.0;
+        for (const auto &ch : choices)
+            total += ch.w;
+        double r = rng_.nextDouble() * total;
+        for (const auto &ch : choices) {
+            if (r < ch.w)
+                return ch.c;
+            r -= ch.w;
+        }
+        return Construct::kNone;
+    }
+
+    unsigned cur_level_ = 0;
+
+    void
+    emitBody(unsigned depth, unsigned budget)
+    {
+        while (budget > 0) {
+            --budget;
+            emitStraight(blockLen());
+            switch (pickConstruct(depth, !cur_callees_.empty(), cur_level_)) {
+              case Construct::kCheck: stmtCheck(); break;
+              case Construct::kAlwaysIf: stmtAlwaysIf(); break;
+              case Construct::kMixedIf: stmtMixedIf(); break;
+              case Construct::kLoop: stmtLoop(depth, budget); break;
+              case Construct::kCall: stmtCall(); break;
+              case Construct::kICall: stmtICall(cur_level_); break;
+              case Construct::kSwitch: stmtSwitch(); break;
+              case Construct::kJump: stmtJump(); break;
+              case Construct::kNone: break;
+            }
+        }
+    }
+
+    void
+    emitFunction(const FuncPlan &plan)
+    {
+        cur_level_ = plan.level;
+        cur_callees_ = plan.callees;
+        callee_pos_ = rng_.nextBounded(16);
+        cold_fixups_.clear();
+
+        std::uint32_t entry = here();
+        emitBody(0, plan.stmts);
+
+        StaticInst ret;
+        ret.cls = InstClass::kBranch;
+        ret.branch = BranchClass::kReturn;
+        emit(ret);
+
+        // Cold error blocks live past the return, jumping back on the rare
+        // occasions they execute.
+        for (const ColdFixup &fx : cold_fixups_) {
+            patch(fx.branch_idx, here());
+            emitStraight(fx.len);
+            std::uint32_t j = emitJump();
+            patch(j, fx.resume_idx);
+        }
+
+        entries_.push_back(entry);
+        by_level_[plan.level].push_back(entry);
+    }
+
+    void
+    emitDispatcher()
+    {
+        std::uint32_t disp = here();
+        emitStraight(2);
+
+        // Bursty dispatch: a realistic event loop draining a work queue
+        // whose requests arrive in short same-type bursts.
+        IndirectBehavior b;
+        b.kind = IndirectBehavior::Kind::kBursty;
+        b.burst = 2;
+        const auto &handlers = by_level_[2];
+        for (std::size_t i = 0; i < handlers.size(); ++i) {
+            b.targets.push_back(handlers[i]);
+            b.weights.push_back(1.0);
+        }
+        StaticInst icall;
+        icall.cls = InstClass::kBranch;
+        icall.branch = BranchClass::kIndirectCall;
+        icall.src1 = pickSrc();
+        icall.behavior = addIndirect(std::move(b));
+        emit(icall);
+
+        emitStraight(1);
+        std::uint32_t j = emitJump();
+        patch(j, disp);
+
+        prog_.entries = {disp};
+        prog_.entry_weights = {1.0};
+    }
+};
+
+} // namespace
+
+Program
+generateProgram(const GenParams &params)
+{
+    Builder b(params);
+    return b.build();
+}
+
+} // namespace btbsim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dynamic instruction record — the unit flowing through the simulator.
+ *
+ * btbsim models an abstract fixed-length (4-byte) ISA in the spirit of
+ * ARMv8: only PC arithmetic, branch class, register dataflow and memory
+ * addresses matter for the microarchitectural questions the paper asks.
+ */
+
+#ifndef BTBSIM_TRACE_INSTRUCTION_H
+#define BTBSIM_TRACE_INSTRUCTION_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace btbsim {
+
+/** Control-flow class of an instruction. */
+enum class BranchClass : std::uint8_t {
+    kNone,          ///< Not a branch.
+    kCondDirect,    ///< Conditional direct branch.
+    kUncondDirect,  ///< Unconditional direct jump (not a call).
+    kDirectCall,    ///< Unconditional direct call.
+    kReturn,        ///< Function return (indirect through link register).
+    kIndirectJump,  ///< Indirect jump (e.g., switch table).
+    kIndirectCall,  ///< Indirect call (e.g., virtual dispatch).
+};
+
+/** Execution class, used for functional-unit and latency modelling. */
+enum class InstClass : std::uint8_t {
+    kAlu,
+    kMul,
+    kDiv,
+    kFp,
+    kLoad,
+    kStore,
+    kBranch,
+};
+
+/** True for any control-flow instruction. */
+constexpr bool
+isBranch(BranchClass b)
+{
+    return b != BranchClass::kNone;
+}
+
+/** True for branches whose target is encoded in the instruction bytes. */
+constexpr bool
+isDirect(BranchClass b)
+{
+    return b == BranchClass::kCondDirect || b == BranchClass::kUncondDirect ||
+           b == BranchClass::kDirectCall;
+}
+
+/** True for branches that are architecturally always taken. */
+constexpr bool
+isAlwaysTaken(BranchClass b)
+{
+    return isBranch(b) && b != BranchClass::kCondDirect;
+}
+
+/** True for calls (direct or indirect). */
+constexpr bool
+isCall(BranchClass b)
+{
+    return b == BranchClass::kDirectCall || b == BranchClass::kIndirectCall;
+}
+
+/** True for indirect branches (target from a register), including returns. */
+constexpr bool
+isIndirect(BranchClass b)
+{
+    return b == BranchClass::kReturn || b == BranchClass::kIndirectJump ||
+           b == BranchClass::kIndirectCall;
+}
+
+/** Short human-readable name of a branch class. */
+std::string_view branchClassName(BranchClass b);
+
+/**
+ * One dynamic instruction as produced by a TraceSource.
+ *
+ * @c next_pc is always the PC of the next dynamic instruction: the taken
+ * target for taken branches, the fall-through otherwise. The frontend never
+ * reads @c taken / @c next_pc to *predict*; it only uses them to resolve
+ * predictions, exactly as a trace-driven simulator checks its speculation
+ * against the recorded ground truth.
+ */
+struct Instruction
+{
+    Addr pc = 0;
+    Addr next_pc = 0;
+    InstClass cls = InstClass::kAlu;
+    BranchClass branch = BranchClass::kNone;
+    bool taken = false;
+
+    /// Register dataflow: 0 means "no register".
+    std::uint8_t dst = 0;
+    std::uint8_t src1 = 0;
+    std::uint8_t src2 = 0;
+
+    /// Effective address for loads/stores, 0 otherwise.
+    Addr mem_addr = 0;
+
+    bool isBranch() const { return btbsim::isBranch(branch); }
+    bool isLoad() const { return cls == InstClass::kLoad; }
+    bool isStore() const { return cls == InstClass::kStore; }
+
+    /** Taken target (only meaningful when @c taken). */
+    Addr takenTarget() const { return next_pc; }
+
+    /** Sequential fall-through PC. */
+    Addr fallThrough() const { return pc + kInstBytes; }
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_TRACE_INSTRUCTION_H

@@ -1,0 +1,86 @@
+#include "trace/program.h"
+
+#include <sstream>
+
+namespace btbsim {
+
+std::string_view
+branchClassName(BranchClass b)
+{
+    switch (b) {
+      case BranchClass::kNone: return "none";
+      case BranchClass::kCondDirect: return "cond";
+      case BranchClass::kUncondDirect: return "jump";
+      case BranchClass::kDirectCall: return "call";
+      case BranchClass::kReturn: return "ret";
+      case BranchClass::kIndirectJump: return "ijump";
+      case BranchClass::kIndirectCall: return "icall";
+    }
+    return "?";
+}
+
+std::string
+Program::validate() const
+{
+    std::ostringstream err;
+    if (insts.empty())
+        return "program has no instructions";
+    if (entries.empty())
+        return "program has no entry points";
+    if (entry_weights.size() != entries.size())
+        return "entry_weights size mismatch";
+    for (std::uint32_t e : entries) {
+        if (e >= insts.size()) {
+            err << "entry " << e << " out of range";
+            return err.str();
+        }
+    }
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const StaticInst &si = insts[i];
+        const bool is_branch = isBranch(si.branch);
+        if (is_branch && si.cls != InstClass::kBranch) {
+            err << "inst " << i << ": branch class without kBranch";
+            return err.str();
+        }
+        if (isDirect(si.branch) && si.target >= insts.size()) {
+            err << "inst " << i << ": direct target out of range";
+            return err.str();
+        }
+        if (si.branch == BranchClass::kCondDirect) {
+            if (si.behavior < 0 ||
+                static_cast<std::size_t>(si.behavior) >= conds.size()) {
+                err << "inst " << i << ": missing cond behavior";
+                return err.str();
+            }
+        }
+        if (si.branch == BranchClass::kIndirectJump ||
+            si.branch == BranchClass::kIndirectCall) {
+            if (si.behavior < 0 ||
+                static_cast<std::size_t>(si.behavior) >= indirects.size()) {
+                err << "inst " << i << ": missing indirect behavior";
+                return err.str();
+            }
+            const auto &beh = indirects[si.behavior];
+            if (beh.targets.empty()) {
+                err << "inst " << i << ": indirect with no targets";
+                return err.str();
+            }
+            for (std::uint32_t t : beh.targets) {
+                if (t >= insts.size()) {
+                    err << "inst " << i << ": indirect target out of range";
+                    return err.str();
+                }
+            }
+        }
+        if (si.cls == InstClass::kLoad || si.cls == InstClass::kStore) {
+            if (si.stream < 0 ||
+                static_cast<std::size_t>(si.stream) >= streams.size()) {
+                err << "inst " << i << ": memory inst without stream";
+                return err.str();
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace btbsim

@@ -1,0 +1,180 @@
+#include "trace/synthetic_trace.h"
+
+#include <cassert>
+
+namespace btbsim {
+
+SyntheticTrace::SyntheticTrace(const Program &program, std::uint64_t seed,
+                               std::string name)
+    : prog_(&program), seed_(seed),
+      name_(name.empty() ? program.name : std::move(name))
+{
+    reset();
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_ = Rng(seed_);
+    cur_ = prog_->entries.front();
+    call_stack_.clear();
+    loop_remaining_.assign(prog_->conds.size(), kInactive);
+    pattern_pos_.assign(prog_->conds.size(), 0);
+    rr_pos_.assign(prog_->indirects.size(), 0);
+    burst_left_.assign(prog_->indirects.size(), 0);
+    stream_pos_.assign(prog_->streams.size(), 0);
+}
+
+bool
+SyntheticTrace::evalCond(const StaticInst &si)
+{
+    const CondBehavior &b = prog_->conds[si.behavior];
+    switch (b.kind) {
+      case CondBehavior::Kind::kBernoulli:
+        return rng_.nextBool(b.bias);
+      case CondBehavior::Kind::kPattern: {
+        std::uint32_t &pos = pattern_pos_[si.behavior];
+        bool taken = (b.pattern >> (pos % b.pattern_len)) & 1;
+        pos = (pos + 1) % b.pattern_len;
+        return taken;
+      }
+      case CondBehavior::Kind::kLoop: {
+        std::uint32_t &rem = loop_remaining_[si.behavior];
+        if (rem == kInactive) {
+            std::uint32_t trips = b.min_trips;
+            if (b.max_trips > b.min_trips)
+                trips += static_cast<std::uint32_t>(
+                    rng_.nextBounded(b.max_trips - b.min_trips + 1));
+            rem = trips > 0 ? trips - 1 : 0;
+        }
+        if (rem > 0) {
+            --rem;
+            return true;
+        }
+        rem = kInactive;
+        return false;
+      }
+    }
+    return false;
+}
+
+std::uint32_t
+SyntheticTrace::evalIndirect(const StaticInst &si)
+{
+    const IndirectBehavior &b = prog_->indirects[si.behavior];
+    switch (b.kind) {
+      case IndirectBehavior::Kind::kFixed:
+        return b.targets.front();
+      case IndirectBehavior::Kind::kRoundRobin: {
+        std::uint32_t &pos = rr_pos_[si.behavior];
+        std::uint32_t t = b.targets[pos % b.targets.size()];
+        pos = (pos + 1) % static_cast<std::uint32_t>(b.targets.size());
+        return t;
+      }
+      case IndirectBehavior::Kind::kSkewed: {
+        if (rng_.nextBool(b.skew) || b.targets.size() == 1)
+            return b.targets.front();
+        return b.targets[1 + rng_.nextBounded(b.targets.size() - 1)];
+      }
+      case IndirectBehavior::Kind::kBursty: {
+        std::uint32_t &pos = rr_pos_[si.behavior];
+        std::uint32_t &left = burst_left_[si.behavior];
+        if (left == 0) {
+            pos = (pos + 1) % static_cast<std::uint32_t>(b.targets.size());
+            left = b.burst;
+        }
+        --left;
+        return b.targets[pos];
+      }
+      case IndirectBehavior::Kind::kWeighted: {
+        double total = 0.0;
+        for (double w : b.weights)
+            total += w;
+        double r = rng_.nextDouble() * total;
+        for (std::size_t i = 0; i < b.targets.size(); ++i) {
+            if (r < b.weights[i])
+                return b.targets[i];
+            r -= b.weights[i];
+        }
+        return b.targets.back();
+      }
+    }
+    return b.targets.front();
+}
+
+Addr
+SyntheticTrace::evalAddress(const StaticInst &si)
+{
+    const MemStream &s = prog_->streams[si.stream];
+    std::uint64_t &pos = stream_pos_[si.stream];
+    switch (s.kind) {
+      case MemStream::Kind::kStack:
+        return s.base + (rng_.nextBounded(s.footprint) & ~7ull);
+      case MemStream::Kind::kStride: {
+        Addr a = s.base + pos;
+        pos = (pos + static_cast<std::uint64_t>(s.stride)) % s.footprint;
+        return a;
+      }
+      case MemStream::Kind::kRandom:
+        return s.base + (rng_.nextBounded(s.footprint) & ~7ull);
+    }
+    return s.base;
+}
+
+const Instruction &
+SyntheticTrace::next()
+{
+    const StaticInst &si = prog_->insts[cur_];
+
+    out_ = Instruction{};
+    out_.pc = prog_->pcOf(cur_);
+    out_.cls = si.cls;
+    out_.branch = si.branch;
+    out_.dst = si.dst;
+    out_.src1 = si.src1;
+    out_.src2 = si.src2;
+
+    std::uint32_t next_idx = cur_ + 1;
+
+    switch (si.branch) {
+      case BranchClass::kNone:
+        if (si.cls == InstClass::kLoad || si.cls == InstClass::kStore)
+            out_.mem_addr = evalAddress(si);
+        break;
+      case BranchClass::kCondDirect:
+        out_.taken = evalCond(si);
+        if (out_.taken)
+            next_idx = si.target;
+        break;
+      case BranchClass::kUncondDirect:
+        out_.taken = true;
+        next_idx = si.target;
+        break;
+      case BranchClass::kDirectCall:
+        out_.taken = true;
+        call_stack_.push_back(cur_ + 1);
+        next_idx = si.target;
+        break;
+      case BranchClass::kReturn:
+        out_.taken = true;
+        assert(!call_stack_.empty() && "return without matching call");
+        next_idx = call_stack_.back();
+        call_stack_.pop_back();
+        break;
+      case BranchClass::kIndirectJump:
+        out_.taken = true;
+        next_idx = evalIndirect(si);
+        break;
+      case BranchClass::kIndirectCall:
+        out_.taken = true;
+        call_stack_.push_back(cur_ + 1);
+        next_idx = evalIndirect(si);
+        break;
+    }
+
+    out_.next_pc = prog_->pcOf(next_idx);
+    cur_ = next_idx;
+    return out_;
+}
+
+} // namespace btbsim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Abstract source of dynamic instructions.
+ */
+
+#ifndef BTBSIM_TRACE_TRACE_SOURCE_H
+#define BTBSIM_TRACE_TRACE_SOURCE_H
+
+#include <string>
+
+#include "trace/instruction.h"
+
+namespace btbsim {
+
+struct Program;
+
+/**
+ * An infinite, restartable stream of dynamic instructions. The simulator
+ * pulls instructions one at a time; a source must be deterministic so the
+ * same (source, config) pair reproduces identical results.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next dynamic instruction. */
+    virtual const Instruction &next() = 0;
+
+    /** Restart the stream from its initial state. */
+    virtual void reset() = 0;
+
+    /** Human-readable identifier used in reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * The static code image behind this stream, when one exists. Used by
+     * decode-based BTB prefill (predecoding fetched I-cache lines); a
+     * null return disables that feature.
+     */
+    virtual const Program *codeImage() const { return nullptr; }
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_TRACE_TRACE_SOURCE_H

@@ -1,0 +1,106 @@
+/** @file Tests for the trace property analyzer, including suite calibration. */
+
+#include <gtest/gtest.h>
+
+#include "trace/analyzer.h"
+#include "trace/suite.h"
+
+using namespace btbsim;
+
+TEST(Analyzer, SuitePropertiesMatchPaperBallpark)
+{
+    // The paper reports: avg dynamic basic block 9.4 instructions, 34.8%
+    // never-taken conditionals, 15.0% always-taken conditionals, 9.1%
+    // single-target indirects, ~138KB of lines for 90% of the dynamic
+    // stream. The synthetic suite targets those distributions; assert the
+    // suite-wide means are in range.
+    const auto suite = serverSuite(6);
+    double bb = 0, nt = 0, at = 0, sti = 0, cover = 0;
+    for (const WorkloadSpec &spec : suite) {
+        auto w = makeWorkload(spec);
+        const TraceProperties p = analyzeTrace(*w, 1'500'000);
+        bb += p.avg_bb_size;
+        nt += p.frac_never_taken_cond;
+        at += p.frac_always_taken_cond;
+        sti += p.frac_single_target_indirect;
+        cover += static_cast<double>(p.bytes_for_90pct);
+    }
+    const double n = static_cast<double>(suite.size());
+    EXPECT_NEAR(bb / n, 9.4, 2.0);
+    EXPECT_NEAR(nt / n, 0.348, 0.10);
+    EXPECT_NEAR(at / n, 0.15, 0.07);
+    EXPECT_GT(sti / n, 0.02);
+    EXPECT_GT(cover / n, 64.0 * 1024); // Far exceeds the 32KB L1I.
+}
+
+TEST(Analyzer, CountsAreExact)
+{
+    // Hand-built program: 3 alu + always-taken jump back.
+    Program prog;
+    StaticInst alu;
+    StaticInst jmp;
+    jmp.cls = InstClass::kBranch;
+    jmp.branch = BranchClass::kUncondDirect;
+    jmp.target = 0;
+    prog.insts = {alu, alu, alu, jmp};
+    prog.entries = {0};
+    prog.entry_weights = {1.0};
+    ASSERT_EQ(prog.validate(), "");
+
+    SyntheticTrace t(prog, 1);
+    const TraceProperties p = analyzeTrace(t, 4000);
+    EXPECT_EQ(p.branches, 1000u);
+    EXPECT_EQ(p.taken_branches, 1000u);
+    EXPECT_DOUBLE_EQ(p.avg_bb_size, 4.0);
+    EXPECT_DOUBLE_EQ(p.frac_uncond_direct, 1.0);
+    EXPECT_EQ(p.static_branch_sites, 1u);
+    // All four instructions live in one 64B line.
+    EXPECT_EQ(p.bytes_for_100pct, kLineBytes);
+}
+
+TEST(Analyzer, NeverAndAlwaysTakenClassification)
+{
+    Program prog;
+    CondBehavior never;
+    never.bias = 0.0;
+    CondBehavior always;
+    always.bias = 1.0;
+    prog.conds = {never, always};
+
+    StaticInst nt;
+    nt.cls = InstClass::kBranch;
+    nt.branch = BranchClass::kCondDirect;
+    nt.behavior = 0;
+    nt.target = 0;
+    StaticInst at;
+    at.cls = InstClass::kBranch;
+    at.branch = BranchClass::kCondDirect;
+    at.behavior = 1;
+    at.target = 3;
+    StaticInst alu;
+    StaticInst jmp;
+    jmp.cls = InstClass::kBranch;
+    jmp.branch = BranchClass::kUncondDirect;
+    jmp.target = 0;
+    // 0: never-taken cond; 1: always-taken cond -> 3; 2: dead alu; 3: jmp 0
+    prog.insts = {nt, at, alu, jmp};
+    prog.entries = {0};
+    prog.entry_weights = {1.0};
+    ASSERT_EQ(prog.validate(), "");
+
+    SyntheticTrace t(prog, 1);
+    const TraceProperties p = analyzeTrace(t, 3000);
+    EXPECT_NEAR(p.frac_never_taken_cond, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(p.frac_always_taken_cond, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(p.frac_uncond_direct, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Analyzer, ResetsSourceAfterUse)
+{
+    const auto suite = serverSuite(1);
+    auto w = makeWorkload(suite.front());
+    const Addr first = w->next().pc;
+    w->reset();
+    analyzeTrace(*w, 10000);
+    EXPECT_EQ(w->next().pc, first);
+}

@@ -1,0 +1,82 @@
+/** @file Tests for BTB configuration presets and geometry (Section 6.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/btb_org.h"
+
+using namespace btbsim;
+
+TEST(BtbConfig, Names)
+{
+    EXPECT_EQ(BtbConfig::ibtb(16).name(), "I-BTB 16");
+    EXPECT_EQ(BtbConfig::ibtb(8).name(), "I-BTB 8");
+    EXPECT_EQ(BtbConfig::ibtb(16, true).name(), "I-BTB 16 Skp");
+    EXPECT_EQ(BtbConfig::rbtb(3).name(), "R-BTB 3BS");
+    EXPECT_EQ(BtbConfig::rbtb(2, 64, true).name(), "2L1 R-BTB 2BS");
+    EXPECT_EQ(BtbConfig::rbtb(4, 128).name(), "R-BTB 128B 4BS");
+    EXPECT_EQ(BtbConfig::bbtb(1, true).name(), "B-BTB 1BS Splt");
+    EXPECT_EQ(BtbConfig::bbtb(2, false, 32).name(), "B-BTB 32 2BS");
+    EXPECT_EQ(BtbConfig::mbbtb(2, PullPolicy::kCallDir).name(),
+              "MB-BTB 2BS CallDir");
+    EXPECT_EQ(BtbConfig::mbbtb(3, PullPolicy::kAllBr, 64).name(),
+              "MB-BTB 64 3BS AllBr");
+    BtbConfig ideal = BtbConfig::ibtb(16);
+    ideal.makeIdeal();
+    EXPECT_EQ(ideal.name(), "I-BTB 16 (ideal)");
+}
+
+TEST(BtbConfig, Table1Geometries)
+{
+    BtbLevelGeom l1, l2;
+    BtbConfig::realGeometry(1, l1, l2);
+    EXPECT_EQ(l1.entries(), 3072u);  // 512 x 6
+    EXPECT_EQ(l2.entries(), 13312u); // 1024 x 13
+    BtbConfig::realGeometry(2, l1, l2);
+    EXPECT_EQ(l1.entries(), 1536u);
+    BtbConfig::realGeometry(3, l1, l2);
+    EXPECT_EQ(l1.entries(), 1024u); // 256 x 4 per the paper
+    EXPECT_EQ(l2.entries(), 4608u); // 256 x 18
+    BtbConfig::realGeometry(4, l1, l2);
+    EXPECT_EQ(l1.entries(), 768u);
+}
+
+TEST(BtbConfig, IsoSlotScalingHolds)
+{
+    // Total branch slots stays within ~15% of the I-BTB's 3072 across the
+    // slot counts the paper evaluates (Section 6.1).
+    for (unsigned slots : {1u, 2u, 3u, 4u, 6u}) {
+        BtbLevelGeom l1, l2;
+        BtbConfig::realGeometry(slots, l1, l2);
+        const double total = static_cast<double>(l1.entries()) * slots;
+        EXPECT_NEAR(total, 3072.0, 3072.0 * 0.15) << slots << " slots";
+    }
+}
+
+TEST(BtbConfig, MakeIdealZeroesPenalty)
+{
+    BtbConfig c = BtbConfig::bbtb(2);
+    c.makeIdeal();
+    EXPECT_TRUE(c.ideal);
+    EXPECT_EQ(c.l2_penalty, 0u);
+}
+
+TEST(BtbConfig, FactoryProducesEveryKind)
+{
+    EXPECT_NE(makeBtb(BtbConfig::ibtb(16)), nullptr);
+    EXPECT_NE(makeBtb(BtbConfig::rbtb(2)), nullptr);
+    EXPECT_NE(makeBtb(BtbConfig::bbtb(2)), nullptr);
+    EXPECT_NE(makeBtb(BtbConfig::mbbtb(2, PullPolicy::kAllBr)), nullptr);
+    EXPECT_NE(makeBtb(BtbConfig::hetero(1)), nullptr);
+}
+
+TEST(BtbConfig, PenaltyModel)
+{
+    auto real = makeBtb(BtbConfig::ibtb(16));
+    EXPECT_EQ(real->takenPenalty(0), 0u);
+    EXPECT_EQ(real->takenPenalty(1), 0u);
+    EXPECT_EQ(real->takenPenalty(2), 3u);
+    BtbConfig icfg = BtbConfig::ibtb(16);
+    icfg.makeIdeal();
+    auto ideal = makeBtb(icfg);
+    EXPECT_EQ(ideal->takenPenalty(2), 0u);
+}

@@ -1,0 +1,57 @@
+/** @file Shared helpers for BTB organization tests. */
+
+#ifndef BTBSIM_TESTS_BTB_TEST_UTIL_H
+#define BTBSIM_TESTS_BTB_TEST_UTIL_H
+
+#include "core/btb_org.h"
+#include "trace/instruction.h"
+
+namespace btbsim::test {
+
+/** Build a branch instruction record. */
+inline Instruction
+branchAt(Addr pc, BranchClass cls, Addr target, bool taken = true)
+{
+    Instruction in;
+    in.pc = pc;
+    in.cls = InstClass::kBranch;
+    in.branch = cls;
+    in.taken = taken;
+    in.next_pc = taken ? target : pc + kInstBytes;
+    return in;
+}
+
+/** Walk an access from @p pc, returning the view at each step until the
+ *  window ends or @p max steps were taken. */
+inline std::vector<StepView>
+walk(BtbOrg &org, Addr pc, unsigned max = 64)
+{
+    std::vector<StepView> views;
+    org.beginAccess(pc);
+    Addr cur = pc;
+    for (unsigned i = 0; i < max; ++i) {
+        StepView v = org.step(cur);
+        if (v.kind == StepView::Kind::kEndOfWindow)
+            break;
+        views.push_back(v);
+        cur += kInstBytes;
+    }
+    return views;
+}
+
+/** The view for a single pc within a fresh access starting at @p start. */
+inline StepView
+viewAt(BtbOrg &org, Addr start, Addr pc)
+{
+    org.beginAccess(start);
+    for (Addr cur = start; cur < pc; cur += kInstBytes) {
+        StepView v = org.step(cur);
+        if (v.kind == StepView::Kind::kEndOfWindow)
+            return v;
+    }
+    return org.step(pc);
+}
+
+} // namespace btbsim::test
+
+#endif // BTBSIM_TESTS_BTB_TEST_UTIL_H

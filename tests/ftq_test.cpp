@@ -1,0 +1,87 @@
+/** @file Tests for the Fetch Target Queue. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/ftq.h"
+
+using namespace btbsim;
+
+namespace {
+
+DynInst
+instAt(Addr pc)
+{
+    DynInst d;
+    d.in.pc = pc;
+    return d;
+}
+
+} // namespace
+
+TEST(Ftq, SameLineSharesEntry)
+{
+    Ftq q(4);
+    EXPECT_TRUE(q.push(instAt(0x1000), 1, false, true));
+    EXPECT_TRUE(q.push(instAt(0x1004), 1, false, false));
+    EXPECT_TRUE(q.push(instAt(0x103C), 1, false, false));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front().insts.size(), 3u);
+}
+
+TEST(Ftq, LineCrossOpensEntry)
+{
+    Ftq q(4);
+    q.push(instAt(0x103C), 1, false, true);
+    q.push(instAt(0x1040), 1, false, false);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Ftq, ForcedNewEntryAfterRedirect)
+{
+    Ftq q(4);
+    q.push(instAt(0x1000), 1, false, true);
+    // Taken-branch target in the same line still opens a fresh entry.
+    q.push(instAt(0x1020), 1, false, true);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Ftq, CapacityEnforced)
+{
+    Ftq q(2);
+    EXPECT_TRUE(q.push(instAt(0x1000), 1, false, true));
+    EXPECT_TRUE(q.push(instAt(0x2000), 1, false, true));
+    EXPECT_FALSE(q.push(instAt(0x3000), 1, false, true));
+    EXPECT_TRUE(q.full());
+    // But appending to the open tail entry still works.
+    EXPECT_TRUE(q.canAccept(0x2004, false));
+    EXPECT_TRUE(q.push(instAt(0x2004), 1, false, false));
+}
+
+TEST(Ftq, BypassSetsImmediateIssue)
+{
+    Ftq q(4);
+    q.push(instAt(0x1000), 5, true, true);
+    EXPECT_EQ(q.front().min_issue_cycle, 5u);
+    q.push(instAt(0x2000), 5, false, true);
+    EXPECT_EQ(q.entries()[1].min_issue_cycle, 6u);
+}
+
+TEST(Ftq, NoAppendToIssuedEntry)
+{
+    Ftq q(4);
+    q.push(instAt(0x1000), 1, false, true);
+    q.front().issued = true;
+    q.push(instAt(0x1004), 2, false, false);
+    EXPECT_EQ(q.size(), 2u); // had to open a new entry
+}
+
+TEST(Ftq, PopAndClear)
+{
+    Ftq q(4);
+    q.push(instAt(0x1000), 1, false, true);
+    q.push(instAt(0x2000), 1, false, true);
+    q.popFront();
+    EXPECT_EQ(q.size(), 1u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}

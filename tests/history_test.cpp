@@ -1,0 +1,79 @@
+/** @file Tests for global history folding. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/history.h"
+
+using namespace btbsim;
+
+TEST(GlobalHistory, ShiftAndLow)
+{
+    GlobalHistory h;
+    h.shift(true);
+    h.shift(false);
+    h.shift(true);
+    // Most recent is bit 0: 1,0,1 -> 0b101.
+    EXPECT_EQ(h.low(3), 0b101u);
+    EXPECT_EQ(h.low(1), 1u);
+}
+
+TEST(GlobalHistory, ZeroLengthFoldIsZero)
+{
+    GlobalHistory h;
+    for (int i = 0; i < 100; ++i)
+        h.shift(i % 3 == 0);
+    EXPECT_EQ(h.fold(0, 12), 0u);
+}
+
+TEST(GlobalHistory, FoldDependsOnHistory)
+{
+    GlobalHistory a, b;
+    for (int i = 0; i < 64; ++i) {
+        a.shift(true);
+        b.shift(i != 13);
+    }
+    EXPECT_NE(a.fold(64, 12), b.fold(64, 12));
+}
+
+TEST(GlobalHistory, FoldStaysInBits)
+{
+    GlobalHistory h;
+    for (int i = 0; i < 256; ++i) {
+        h.shift((i * 7) % 5 < 2);
+        EXPECT_LT(h.fold(232, 12), 1ull << 12);
+        EXPECT_LT(h.fold(17, 9), 1ull << 9);
+    }
+}
+
+TEST(GlobalHistory, LongShiftPropagatesAcrossWords)
+{
+    GlobalHistory h;
+    h.shift(true);
+    for (int i = 0; i < 70; ++i)
+        h.shift(false);
+    // The 1 is now at position 70; folding the first 64 bits sees zeros,
+    // folding 128 sees the 1.
+    EXPECT_EQ(h.fold(64, 8), 0u);
+    EXPECT_NE(h.fold(128, 8), 0u);
+}
+
+TEST(GlobalHistory, ResetClears)
+{
+    GlobalHistory h;
+    for (int i = 0; i < 200; ++i)
+        h.shift(true);
+    h.reset();
+    EXPECT_EQ(h.low(64), 0u);
+    EXPECT_EQ(h.fold(232, 12), 0u);
+}
+
+TEST(PathHistory, ShiftMixes)
+{
+    PathHistory p;
+    p.shift(0x1000);
+    const auto v1 = p.value();
+    p.shift(0x2000);
+    EXPECT_NE(p.value(), v1);
+    p.reset();
+    EXPECT_EQ(p.value(), 0u);
+}

@@ -1,0 +1,60 @@
+/** @file Tests for the indirect target predictor. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/indirect.h"
+
+using namespace btbsim;
+
+TEST(Indirect, LearnsMonomorphicSite)
+{
+    IndirectPredictor p;
+    GlobalHistory h;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i)
+        correct += (p.predictAndTrain(0x1000, h, 0xBEEF0) == 0xBEEF0);
+    EXPECT_GT(correct, 990);
+}
+
+TEST(Indirect, FirstLookupHasNoPrediction)
+{
+    IndirectPredictor p;
+    GlobalHistory h;
+    EXPECT_EQ(p.predictAndTrain(0x1234, h, 0xAAAA0), 0u);
+}
+
+TEST(Indirect, AdaptsToTargetChange)
+{
+    IndirectPredictor p;
+    GlobalHistory h;
+    for (int i = 0; i < 10; ++i)
+        p.predictAndTrain(0x1000, h, 0x100);
+    // Target changes; one mispredict, then it follows.
+    EXPECT_EQ(p.predictAndTrain(0x1000, h, 0x200), 0x100u);
+    EXPECT_EQ(p.predictAndTrain(0x1000, h, 0x200), 0x200u);
+}
+
+TEST(Indirect, HistoryDisambiguatesContexts)
+{
+    IndirectPredictor p;
+    // Same branch PC, two history contexts with different targets.
+    GlobalHistory ctx_a, ctx_b;
+    ctx_a.shift(true);
+    ctx_b.shift(false);
+    for (int i = 0; i < 20; ++i) {
+        p.predictAndTrain(0x4000, ctx_a, 0xAAAA0);
+        p.predictAndTrain(0x4000, ctx_b, 0xBBBB0);
+    }
+    EXPECT_EQ(p.predictAndTrain(0x4000, ctx_a, 0xAAAA0), 0xAAAA0u);
+    EXPECT_EQ(p.predictAndTrain(0x4000, ctx_b, 0xBBBB0), 0xBBBB0u);
+}
+
+TEST(Indirect, CountersTrack)
+{
+    IndirectPredictor p;
+    GlobalHistory h;
+    p.predictAndTrain(0x1000, h, 0x10);
+    p.predictAndTrain(0x1000, h, 0x10);
+    EXPECT_EQ(p.lookups(), 2u);
+    EXPECT_EQ(p.mispredicts(), 1u); // only the cold first lookup
+}

@@ -1,0 +1,71 @@
+/** @file Tests for the IP-stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.h"
+#include "memory/prefetcher.h"
+
+using namespace btbsim;
+
+namespace {
+
+struct Fixture
+{
+    Dram dram{4, 100};
+    Cache cache{{"L1D", 64, 12, 5, 16, false}, nullptr, &dram};
+    IpStridePrefetcher pf{256, 2};
+};
+
+} // namespace
+
+TEST(IpStride, DetectsStrideAfterTraining)
+{
+    Fixture f;
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 4; ++i)
+        f.pf.observe(pc, 0x100000 + static_cast<Addr>(i) * 256, i, f.cache);
+    EXPECT_GT(f.pf.issued(), 0u);
+    // The next strided lines were prefetched.
+    EXPECT_TRUE(f.cache.contains(0x100000 + 4 * 256));
+}
+
+TEST(IpStride, IgnoresRandomAccesses)
+{
+    Fixture f;
+    const Addr addrs[] = {0x10000, 0x84000, 0x2000, 0x99000, 0x41000};
+    for (int i = 0; i < 5; ++i)
+        f.pf.observe(0x4000, addrs[i], i, f.cache);
+    EXPECT_EQ(f.pf.issued(), 0u);
+}
+
+TEST(IpStride, PerPcStateIsolated)
+{
+    Fixture f;
+    // Two PCs with interleaved but individually strided streams.
+    for (int i = 0; i < 6; ++i) {
+        f.pf.observe(0x4000, 0x100000 + static_cast<Addr>(i) * 64, i, f.cache);
+        f.pf.observe(0x5000, 0x900000 + static_cast<Addr>(i) * 128, i, f.cache);
+    }
+    EXPECT_TRUE(f.cache.contains(0x100000 + 6 * 64));
+    EXPECT_TRUE(f.cache.contains(0x900000 + 6 * 128));
+}
+
+TEST(IpStride, StrideChangeResetsConfidence)
+{
+    Fixture f;
+    for (int i = 0; i < 4; ++i)
+        f.pf.observe(0x4000, 0x100000 + static_cast<Addr>(i) * 64, i, f.cache);
+    const auto issued_before = f.pf.issued();
+    // Break the stride; no new prefetches immediately.
+    f.pf.observe(0x4000, 0x500000, 10, f.cache);
+    f.pf.observe(0x4000, 0x700000, 11, f.cache);
+    EXPECT_EQ(f.pf.issued(), issued_before);
+}
+
+TEST(IpStride, NegativeStrideWorks)
+{
+    Fixture f;
+    for (int i = 0; i < 5; ++i)
+        f.pf.observe(0x4000, 0x200000 - static_cast<Addr>(i) * 64, i, f.cache);
+    EXPECT_TRUE(f.cache.contains(0x200000 - 5 * 64));
+}

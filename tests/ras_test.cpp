@@ -1,0 +1,70 @@
+/** @file Tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/ras.h"
+
+using namespace btbsim;
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.underflows(), 1u);
+}
+
+TEST(Ras, OverflowOverwritesOldest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    // Entries 0x50, 0x60 overwrote 0x10, 0x20.
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    // Depth exhausted; the oldest two are gone.
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, DepthTracks)
+{
+    ReturnAddressStack ras(64);
+    EXPECT_EQ(ras.depth(), 0u);
+    ras.push(0x10);
+    ras.push(0x20);
+    EXPECT_EQ(ras.depth(), 2u);
+    ras.pop();
+    EXPECT_EQ(ras.depth(), 1u);
+}
+
+TEST(Ras, DeepCallChains)
+{
+    ReturnAddressStack ras(64);
+    for (Addr a = 0; a < 60; ++a)
+        ras.push(0x1000 + a * 4);
+    for (Addr a = 60; a-- > 0;)
+        EXPECT_EQ(ras.pop(), 0x1000 + a * 4);
+}
+
+TEST(Ras, CountersTrack)
+{
+    ReturnAddressStack ras(8);
+    ras.push(1);
+    ras.pop();
+    ras.pop();
+    EXPECT_EQ(ras.pushes(), 1u);
+    EXPECT_EQ(ras.pops(), 2u);
+    EXPECT_EQ(ras.underflows(), 1u);
+}

@@ -1,0 +1,84 @@
+/** @file Tests for the experiment runner. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/runner.h"
+
+using namespace btbsim;
+
+TEST(Runner, EnvOverrides)
+{
+    setenv("BTBSIM_WARMUP", "1234", 1);
+    setenv("BTBSIM_MEASURE", "5678", 1);
+    setenv("BTBSIM_TRACES", "3", 1);
+    setenv("BTBSIM_THREADS", "2", 1);
+    const RunOptions o = RunOptions::fromEnv();
+    EXPECT_EQ(o.warmup, 1234u);
+    EXPECT_EQ(o.measure, 5678u);
+    EXPECT_EQ(o.traces, 3u);
+    EXPECT_EQ(o.threads, 2u);
+    unsetenv("BTBSIM_WARMUP");
+    unsetenv("BTBSIM_MEASURE");
+    unsetenv("BTBSIM_TRACES");
+    unsetenv("BTBSIM_THREADS");
+}
+
+TEST(Runner, EnvDefaultsWhenUnset)
+{
+    unsetenv("BTBSIM_WARMUP");
+    const RunOptions o = RunOptions::fromEnv();
+    EXPECT_EQ(o.warmup, RunOptions{}.warmup);
+}
+
+TEST(Runner, MatrixOrderingAndDeterminism)
+{
+    RunOptions opt;
+    opt.warmup = 60'000;
+    opt.measure = 120'000;
+    opt.threads = 2;
+
+    WorkloadSpec spec;
+    spec.name = "rt";
+    spec.params.seed = 0x42;
+    spec.params.target_static_insts = 24 * 1024;
+    spec.params.num_handlers = 4;
+
+    std::vector<CpuConfig> configs(2);
+    configs[0].btb = BtbConfig::ibtb(16);
+    configs[1].btb = BtbConfig::bbtb(1, true);
+
+    const auto r1 = runMatrix(configs, {spec}, opt);
+    const auto r2 = runMatrix(configs, {spec}, opt);
+    ASSERT_EQ(r1.size(), 2u);
+    // Ordered by (config, workload).
+    EXPECT_EQ(r1[0].config, "I-BTB 16");
+    EXPECT_EQ(r1[1].config, "B-BTB 1BS Splt");
+    // Thread scheduling must not affect results.
+    EXPECT_EQ(r1[0].cycles, r2[0].cycles);
+    EXPECT_EQ(r1[1].cycles, r2[1].cycles);
+}
+
+TEST(Runner, RunOneFillsHeadlineStats)
+{
+    RunOptions opt;
+    opt.warmup = 60'000;
+    opt.measure = 120'000;
+
+    WorkloadSpec spec;
+    spec.name = "rt2";
+    spec.params.seed = 0x43;
+    spec.params.target_static_insts = 24 * 1024;
+    spec.params.num_handlers = 4;
+
+    CpuConfig cfg;
+    const SimStats s = runOne(cfg, spec, opt);
+    EXPECT_EQ(s.workload, "rt2");
+    EXPECT_EQ(s.config, "I-BTB 16");
+    EXPECT_GE(s.instructions, opt.measure);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.ipc, 0.0);
+    EXPECT_GT(s.fetch_pcs_per_access, 1.0);
+    EXPECT_GT(s.avg_dyn_bb_size, 2.0);
+}

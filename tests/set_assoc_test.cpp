@@ -1,0 +1,123 @@
+/** @file Tests for the generic set-associative table. */
+
+#include <gtest/gtest.h>
+
+#include "core/set_assoc.h"
+
+using namespace btbsim;
+
+namespace {
+
+struct Payload
+{
+    int value = 0;
+};
+
+} // namespace
+
+TEST(SetAssoc, InsertFind)
+{
+    SetAssocTable<Payload> t(4, 2, 2);
+    t.insert(0x100).value = 7;
+    ASSERT_NE(t.find(0x100), nullptr);
+    EXPECT_EQ(t.find(0x100)->value, 7);
+    EXPECT_EQ(t.find(0x104), nullptr);
+}
+
+TEST(SetAssoc, InsertResetsExistingKey)
+{
+    SetAssocTable<Payload> t(4, 2, 2);
+    t.insert(0x100).value = 7;
+    EXPECT_EQ(t.insert(0x100).value, 0); // fresh payload
+}
+
+TEST(SetAssoc, LruEviction)
+{
+    // 1 set, 2 ways: keys mapping to the same set compete.
+    SetAssocTable<Payload> t(1, 2, 2);
+    t.insert(0x10).value = 1;
+    t.insert(0x20).value = 2;
+    t.find(0x10); // touch, making 0x20 the LRU
+    t.insert(0x30).value = 3;
+    EXPECT_NE(t.find(0x10), nullptr);
+    EXPECT_EQ(t.find(0x20), nullptr); // evicted
+    EXPECT_NE(t.find(0x30), nullptr);
+    EXPECT_EQ(t.evictions(), 1u);
+}
+
+TEST(SetAssoc, PeekDoesNotTouchLru)
+{
+    SetAssocTable<Payload> t(1, 2, 2);
+    t.insert(0x10);
+    t.insert(0x20);
+    t.peek(0x10); // must NOT promote 0x10
+    t.insert(0x30);
+    EXPECT_EQ(t.find(0x10), nullptr); // 0x10 was LRU and evicted
+    EXPECT_NE(t.find(0x20), nullptr);
+}
+
+TEST(SetAssoc, SetIndexingUsesShift)
+{
+    // Shift 6 (64B lines): 0x000 and 0x040 land in different sets.
+    SetAssocTable<Payload> t(2, 1, 6);
+    t.insert(0x000);
+    t.insert(0x040);
+    EXPECT_NE(t.find(0x000), nullptr);
+    EXPECT_NE(t.find(0x040), nullptr);
+    // 0x080 aliases with 0x000 (same set, 1 way): evicts it.
+    t.insert(0x080);
+    EXPECT_EQ(t.find(0x000), nullptr);
+}
+
+TEST(SetAssoc, EraseAndClear)
+{
+    SetAssocTable<Payload> t(4, 2, 2);
+    t.insert(0x10);
+    t.insert(0x20);
+    t.erase(0x10);
+    EXPECT_EQ(t.find(0x10), nullptr);
+    EXPECT_NE(t.find(0x20), nullptr);
+    t.clear();
+    EXPECT_EQ(t.find(0x20), nullptr);
+}
+
+TEST(SetAssoc, ForEachVisitsAllValid)
+{
+    SetAssocTable<Payload> t(8, 4, 2);
+    for (Addr a = 0; a < 20; ++a)
+        t.insert(a * 4).value = static_cast<int>(a);
+    int count = 0;
+    t.forEach([&](Addr, const Payload &) { ++count; });
+    EXPECT_EQ(count, 20);
+}
+
+TEST(SetAssoc, FillCopiesPayload)
+{
+    SetAssocTable<Payload> t(4, 2, 2);
+    Payload p;
+    p.value = 42;
+    t.fill(0x10, p);
+    EXPECT_EQ(t.find(0x10)->value, 42);
+}
+
+/** Property sweep: capacity is respected for any geometry. */
+class SetAssocGeomTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(SetAssocGeomTest, NeverExceedsCapacity)
+{
+    const auto [sets, ways] = GetParam();
+    SetAssocTable<Payload> t(sets, ways, 2);
+    for (Addr a = 0; a < 10000; ++a)
+        t.insert(a * 4);
+    std::size_t count = 0;
+    t.forEach([&](Addr, const Payload &) { ++count; });
+    EXPECT_LE(count, static_cast<std::size_t>(sets) * ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SetAssocGeomTest,
+    ::testing::Values(std::pair{1u, 1u}, std::pair{512u, 6u},
+                      std::pair{1024u, 13u}, std::pair{256u, 18u},
+                      std::pair{3u, 5u}));

@@ -1,0 +1,91 @@
+/** @file Unit tests for stats primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.h"
+#include "common/stats.h"
+
+using namespace btbsim;
+
+TEST(RunningMean, Basics)
+{
+    RunningMean m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    m.add(2.0);
+    m.add(4.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+    m.add(6.0, 2.0); // weighted
+    EXPECT_DOUBLE_EQ(m.mean(), (2 + 4 + 12) / 4.0);
+}
+
+TEST(Histogram, MeanAndOverflow)
+{
+    Histogram h(8);
+    h.add(1);
+    h.add(3);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    h.add(100); // clamps to bucket 7
+    EXPECT_EQ(h.count(7), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(VecMinMax, Basics)
+{
+    EXPECT_DOUBLE_EQ(vecMin({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(vecMax({3.0, 1.0, 2.0}), 3.0);
+    EXPECT_DOUBLE_EQ(vecMin({}), 0.0);
+}
+
+TEST(StatSet, MergeAndGet)
+{
+    StatSet a, b;
+    a["x"] = 2;
+    b["x"] = 3;
+    b["y"] = 1;
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+    EXPECT_EQ(a.get("z"), 0u);
+}
+
+TEST(SatCounter, SaturatesUp)
+{
+    SatCounter<2> c;
+    EXPECT_EQ(c.max(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesDown)
+{
+    SatCounter<3> c(5);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, SixBitMaxIs63)
+{
+    SatCounter<6> c;
+    EXPECT_EQ(c.max(), 63u);
+}
+
+TEST(SignedSatCounter, Rails)
+{
+    SignedSatCounter<8> w;
+    for (int i = 0; i < 300; ++i)
+        w.add(1);
+    EXPECT_EQ(w.value(), 127);
+    for (int i = 0; i < 600; ++i)
+        w.add(-1);
+    EXPECT_EQ(w.value(), -128);
+}

@@ -1,0 +1,66 @@
+/** @file Tests for the workload suite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/suite.h"
+
+using namespace btbsim;
+
+TEST(Suite, NamesAreUnique)
+{
+    const auto suite = serverSuite(12);
+    std::set<std::string> names;
+    for (const WorkloadSpec &w : suite)
+        names.insert(w.name);
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Suite, CountClamps)
+{
+    EXPECT_EQ(serverSuite(3).size(), 3u);
+    EXPECT_EQ(serverSuite(100).size(), 12u);
+}
+
+TEST(Suite, SeedsDiffer)
+{
+    const auto suite = serverSuite(12);
+    std::set<std::uint64_t> seeds;
+    for (const WorkloadSpec &w : suite)
+        seeds.insert(w.params.seed);
+    EXPECT_EQ(seeds.size(), suite.size());
+}
+
+TEST(Suite, WorkloadIsDeterministicAndResettable)
+{
+    const auto suite = serverSuite(1);
+    auto a = makeWorkload(suite.front());
+    auto b = makeWorkload(suite.front());
+    for (int i = 0; i < 50000; ++i)
+        ASSERT_EQ(a->next().pc, b->next().pc);
+    a->reset();
+    b->reset();
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a->next().pc, b->next().pc);
+}
+
+TEST(Suite, FootprintsOversubscribeL1Btb)
+{
+    // Every workload's code footprint must dwarf the 3K-entry L1 BTB and
+    // the 32KB L1I — the trace-selection criterion of Section 4.2.
+    for (const WorkloadSpec &spec : serverSuite(12)) {
+        auto w = makeWorkload(spec);
+        EXPECT_GT(w->program().footprintBytes(), 128u * 1024)
+            << spec.name;
+    }
+}
+
+TEST(Suite, CodeImageExposed)
+{
+    const auto suite = serverSuite(1);
+    auto w = makeWorkload(suite.front());
+    ASSERT_NE(w->codeImage(), nullptr);
+    EXPECT_EQ(w->codeImage(), &w->program());
+    EXPECT_EQ(w->program().validate(), "");
+}

@@ -1,0 +1,70 @@
+/** @file A hand-scripted looping trace source for pipeline tests. */
+
+#ifndef BTBSIM_TESTS_TRACE_UTIL_H
+#define BTBSIM_TESTS_TRACE_UTIL_H
+
+#include <cassert>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace btbsim::test {
+
+/**
+ * Replays a fixed instruction sequence forever. The sequence must be
+ * control-flow consistent (each next_pc equals the following pc, and the
+ * last instruction must jump back to the first).
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<Instruction> insts)
+        : insts_(std::move(insts))
+    {
+        assert(!insts_.empty());
+        for (std::size_t i = 0; i + 1 < insts_.size(); ++i)
+            assert(insts_[i].next_pc == insts_[i + 1].pc &&
+                   "trace is not control-flow consistent");
+        assert(insts_.back().next_pc == insts_.front().pc &&
+               "trace must loop");
+    }
+
+    const Instruction &
+    next() override
+    {
+        const Instruction &in = insts_[pos_];
+        pos_ = (pos_ + 1) % insts_.size();
+        return in;
+    }
+
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return "vector"; }
+
+  private:
+    std::vector<Instruction> insts_;
+    std::size_t pos_ = 0;
+};
+
+/** Sequential non-branch instruction. */
+inline Instruction
+seqAt(Addr pc)
+{
+    Instruction in;
+    in.pc = pc;
+    in.next_pc = pc + kInstBytes;
+    return in;
+}
+
+/** Straight-line run [start, start + n*4). */
+inline std::vector<Instruction>
+straight(Addr start, unsigned n)
+{
+    std::vector<Instruction> v;
+    for (unsigned i = 0; i < n; ++i)
+        v.push_back(seqAt(start + i * kInstBytes));
+    return v;
+}
+
+} // namespace btbsim::test
+
+#endif // BTBSIM_TESTS_TRACE_UTIL_H
