@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blockend.dir/bench_ablation_blockend.cpp.o"
+  "CMakeFiles/bench_ablation_blockend.dir/bench_ablation_blockend.cpp.o.d"
+  "CMakeFiles/bench_ablation_blockend.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_blockend.dir/bench_common.cpp.o.d"
+  "bench_ablation_blockend"
+  "bench_ablation_blockend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blockend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mbbtb.dir/bench_ablation_mbbtb.cpp.o"
+  "CMakeFiles/bench_ablation_mbbtb.dir/bench_ablation_mbbtb.cpp.o.d"
+  "CMakeFiles/bench_ablation_mbbtb.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_mbbtb.dir/bench_common.cpp.o.d"
+  "bench_ablation_mbbtb"
+  "bench_ablation_mbbtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mbbtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

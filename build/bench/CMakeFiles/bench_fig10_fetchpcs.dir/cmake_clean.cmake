@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fetchpcs.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig10_fetchpcs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig10_fetchpcs.dir/bench_fig10_fetchpcs.cpp.o"
+  "CMakeFiles/bench_fig10_fetchpcs.dir/bench_fig10_fetchpcs.cpp.o.d"
+  "bench_fig10_fetchpcs"
+  "bench_fig10_fetchpcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fetchpcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

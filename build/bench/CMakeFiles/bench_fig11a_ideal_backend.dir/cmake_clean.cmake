@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_ideal_backend.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11a_ideal_backend.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11a_ideal_backend.dir/bench_fig11a_ideal_backend.cpp.o"
+  "CMakeFiles/bench_fig11a_ideal_backend.dir/bench_fig11a_ideal_backend.cpp.o.d"
+  "bench_fig11a_ideal_backend"
+  "bench_fig11a_ideal_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_ideal_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_bp_sweep.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11b_bp_sweep.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11b_bp_sweep.dir/bench_fig11b_bp_sweep.cpp.o"
+  "CMakeFiles/bench_fig11b_bp_sweep.dir/bench_fig11b_bp_sweep.cpp.o.d"
+  "bench_fig11b_bp_sweep"
+  "bench_fig11b_bp_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_bp_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

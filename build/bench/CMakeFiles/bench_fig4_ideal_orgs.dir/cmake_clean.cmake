@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ideal_orgs.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig4_ideal_orgs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig4_ideal_orgs.dir/bench_fig4_ideal_orgs.cpp.o"
+  "CMakeFiles/bench_fig4_ideal_orgs.dir/bench_fig4_ideal_orgs.cpp.o.d"
+  "bench_fig4_ideal_orgs"
+  "bench_fig4_ideal_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ideal_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_realistic.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig5_realistic.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig5_realistic.dir/bench_fig5_realistic.cpp.o"
+  "CMakeFiles/bench_fig5_realistic.dir/bench_fig5_realistic.cpp.o.d"
+  "bench_fig5_realistic"
+  "bench_fig5_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

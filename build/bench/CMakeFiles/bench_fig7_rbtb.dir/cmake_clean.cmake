@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rbtb.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig7_rbtb.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig7_rbtb.dir/bench_fig7_rbtb.cpp.o"
+  "CMakeFiles/bench_fig7_rbtb.dir/bench_fig7_rbtb.cpp.o.d"
+  "bench_fig7_rbtb"
+  "bench_fig7_rbtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rbtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bbtb_mbbtb.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig8_bbtb_mbbtb.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig8_bbtb_mbbtb.dir/bench_fig8_bbtb_mbbtb.cpp.o"
+  "CMakeFiles/bench_fig8_bbtb_mbbtb.dir/bench_fig8_bbtb_mbbtb.cpp.o.d"
+  "bench_fig8_bbtb_mbbtb"
+  "bench_fig8_bbtb_mbbtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bbtb_mbbtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_blocksize.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig9_blocksize.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig9_blocksize.dir/bench_fig9_blocksize.cpp.o"
+  "CMakeFiles/bench_fig9_blocksize.dir/bench_fig9_blocksize.cpp.o.d"
+  "bench_fig9_blocksize"
+  "bench_fig9_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

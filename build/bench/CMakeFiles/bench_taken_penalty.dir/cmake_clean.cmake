@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taken_penalty.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_taken_penalty.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_taken_penalty.dir/bench_taken_penalty.cpp.o"
+  "CMakeFiles/bench_taken_penalty.dir/bench_taken_penalty.cpp.o.d"
+  "bench_taken_penalty"
+  "bench_taken_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taken_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_btb.dir/custom_btb.cpp.o"
+  "CMakeFiles/custom_btb.dir/custom_btb.cpp.o.d"
+  "custom_btb"
+  "custom_btb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/backend.cpp" "src/CMakeFiles/btbsim.dir/backend/backend.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/backend/backend.cpp.o.d"
+  "/root/repo/src/bpred/history.cpp" "src/CMakeFiles/btbsim.dir/bpred/history.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/bpred/history.cpp.o.d"
+  "/root/repo/src/bpred/indirect.cpp" "src/CMakeFiles/btbsim.dir/bpred/indirect.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/bpred/indirect.cpp.o.d"
+  "/root/repo/src/bpred/perceptron.cpp" "src/CMakeFiles/btbsim.dir/bpred/perceptron.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/bpred/perceptron.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/btbsim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/btbsim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/bbtb.cpp" "src/CMakeFiles/btbsim.dir/core/bbtb.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/core/bbtb.cpp.o.d"
+  "/root/repo/src/core/btb_factory.cpp" "src/CMakeFiles/btbsim.dir/core/btb_factory.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/core/btb_factory.cpp.o.d"
+  "/root/repo/src/core/hetero.cpp" "src/CMakeFiles/btbsim.dir/core/hetero.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/core/hetero.cpp.o.d"
+  "/root/repo/src/core/ibtb.cpp" "src/CMakeFiles/btbsim.dir/core/ibtb.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/core/ibtb.cpp.o.d"
+  "/root/repo/src/core/mbbtb.cpp" "src/CMakeFiles/btbsim.dir/core/mbbtb.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/core/mbbtb.cpp.o.d"
+  "/root/repo/src/core/rbtb.cpp" "src/CMakeFiles/btbsim.dir/core/rbtb.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/core/rbtb.cpp.o.d"
+  "/root/repo/src/frontend/pcgen.cpp" "src/CMakeFiles/btbsim.dir/frontend/pcgen.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/frontend/pcgen.cpp.o.d"
+  "/root/repo/src/memory/cache.cpp" "src/CMakeFiles/btbsim.dir/memory/cache.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/memory/cache.cpp.o.d"
+  "/root/repo/src/memory/prefetcher.cpp" "src/CMakeFiles/btbsim.dir/memory/prefetcher.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/memory/prefetcher.cpp.o.d"
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/btbsim.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/btbsim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/btbsim.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/trace/analyzer.cpp" "src/CMakeFiles/btbsim.dir/trace/analyzer.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/trace/analyzer.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/btbsim.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/program.cpp" "src/CMakeFiles/btbsim.dir/trace/program.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/trace/program.cpp.o.d"
+  "/root/repo/src/trace/suite.cpp" "src/CMakeFiles/btbsim.dir/trace/suite.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/trace/suite.cpp.o.d"
+  "/root/repo/src/trace/synthetic_trace.cpp" "src/CMakeFiles/btbsim.dir/trace/synthetic_trace.cpp.o" "gcc" "src/CMakeFiles/btbsim.dir/trace/synthetic_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for btbsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbtb_test.dir/bbtb_test.cpp.o"
+  "CMakeFiles/bbtb_test.dir/bbtb_test.cpp.o.d"
+  "bbtb_test"
+  "bbtb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbtb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btb_config_test.dir/btb_config_test.cpp.o"
+  "CMakeFiles/btb_config_test.dir/btb_config_test.cpp.o.d"
+  "btb_config_test"
+  "btb_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btb_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftq_test.dir/ftq_test.cpp.o"
+  "CMakeFiles/ftq_test.dir/ftq_test.cpp.o.d"
+  "ftq_test"
+  "ftq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibtb_test.dir/ibtb_test.cpp.o"
+  "CMakeFiles/ibtb_test.dir/ibtb_test.cpp.o.d"
+  "ibtb_test"
+  "ibtb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibtb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

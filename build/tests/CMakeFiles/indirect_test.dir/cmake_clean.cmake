@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_test.dir/indirect_test.cpp.o"
+  "CMakeFiles/indirect_test.dir/indirect_test.cpp.o.d"
+  "indirect_test"
+  "indirect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

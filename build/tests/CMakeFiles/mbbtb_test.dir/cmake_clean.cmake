@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbbtb_test.dir/mbbtb_test.cpp.o"
+  "CMakeFiles/mbbtb_test.dir/mbbtb_test.cpp.o.d"
+  "mbbtb_test"
+  "mbbtb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbbtb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memhier_test.dir/memhier_test.cpp.o"
+  "CMakeFiles/memhier_test.dir/memhier_test.cpp.o.d"
+  "memhier_test"
+  "memhier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memhier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

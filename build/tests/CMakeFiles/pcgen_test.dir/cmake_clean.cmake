@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcgen_test.dir/pcgen_test.cpp.o"
+  "CMakeFiles/pcgen_test.dir/pcgen_test.cpp.o.d"
+  "pcgen_test"
+  "pcgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceptron_test.dir/perceptron_test.cpp.o"
+  "CMakeFiles/perceptron_test.dir/perceptron_test.cpp.o.d"
+  "perceptron_test"
+  "perceptron_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceptron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbtb_test.dir/rbtb_test.cpp.o"
+  "CMakeFiles/rbtb_test.dir/rbtb_test.cpp.o.d"
+  "rbtb_test"
+  "rbtb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbtb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_assoc_test.dir/set_assoc_test.cpp.o"
+  "CMakeFiles/set_assoc_test.dir/set_assoc_test.cpp.o.d"
+  "set_assoc_test"
+  "set_assoc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_assoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

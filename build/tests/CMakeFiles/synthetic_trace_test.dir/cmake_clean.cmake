@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_trace_test.dir/synthetic_trace_test.cpp.o"
+  "CMakeFiles/synthetic_trace_test.dir/synthetic_trace_test.cpp.o.d"
+  "synthetic_trace_test"
+  "synthetic_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
