@@ -39,17 +39,21 @@ main()
     std::printf("%-24s %9s %9s %9s %9s\n", "config", "IPC(gm)", "MFPKI",
                 "MPKI", "L1hit%");
     std::printf("%s\n", std::string(64, '-').c_str());
+    ResultSet rs;
     for (const Variant &v : variants) {
         CpuConfig cfg;
         cfg.btb = v.btb;
         cfg.btb_predecode_fill = v.prefill;
         double ipc = 1.0, mf = 0, mp = 0, hit = 0;
         for (const WorkloadSpec &spec : ctx.suite) {
-            const SimStats s = runOne(cfg, spec, ctx.opt);
+            SimStats s = runOne(cfg, spec, ctx.opt);
             ipc *= s.ipc;
             mf += s.misfetch_pki;
             mp += s.branch_mpki;
             hit += s.l1_btb_hitrate;
+            if (v.prefill)
+                s.config += " +pf";
+            rs.add(s);
         }
         const double n = static_cast<double>(ctx.suite.size());
         std::printf("%-24s %9.3f %9.2f %9.2f %9.1f\n",
@@ -58,6 +62,8 @@ main()
                     100.0 * hit / n);
     }
     std::printf("\n");
+
+    exportResults(rs, "");
 
     expectation(
         "Prefill removes most cold/capacity misfetches on unconditional "

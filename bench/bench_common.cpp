@@ -1,9 +1,22 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
+#include "obs/export.h"
+
 namespace btbsim::bench {
+
+namespace {
+
+/// Slug of the running bench's title, for default output file names.
+std::string g_bench_slug = "bench";
+
+} // namespace
 
 Context
 setup(const std::string &title, const std::string &paper_ref)
@@ -11,6 +24,7 @@ setup(const std::string &title, const std::string &paper_ref)
     Context ctx;
     ctx.opt = RunOptions::fromEnv();
     ctx.suite = serverSuite(ctx.opt.traces);
+    g_bench_slug = obs::slugify(title);
     std::printf("==============================================================\n");
     std::printf("%s\n", title.c_str());
     std::printf("Reproduces: %s of Perais & Sheikh, \"Branch Target Buffer\n"
@@ -60,6 +74,38 @@ runAll(const Context &ctx, const std::vector<CpuConfig> &configs)
     return rs;
 }
 
+bool
+writeJsonTo(const ResultSet &results, const std::string &bench_name,
+            const std::string &baseline, const std::string &path)
+{
+    const std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream os(p);
+    if (!os)
+        return false;
+    results.writeJson(os, bench_name, baseline);
+    return static_cast<bool>(os);
+}
+
+namespace {
+
+/** Resolve an output env knob: "1"/"true" means the default path,
+ *  anything else is taken as the path itself; empty/"0" disables. */
+std::string
+outPathFromEnv(const char *env, const std::string &default_path)
+{
+    const char *v = std::getenv(env);
+    if (!v || !*v || std::strcmp(v, "0") == 0)
+        return {};
+    if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0)
+        return default_path;
+    return v;
+}
+
+} // namespace
+
 void
 printFigure(const ResultSet &results, const std::string &baseline)
 {
@@ -68,6 +114,38 @@ printFigure(const ResultSet &results, const std::string &baseline)
     std::printf("\nPer-configuration detail (suite means):\n");
     results.printDetailTable(std::cout);
     std::printf("\n");
+    exportResults(results, baseline);
+}
+
+void
+exportResults(const ResultSet &results, const std::string &baseline)
+{
+    const std::string json_path =
+        outPathFromEnv("BTBSIM_JSON_OUT", "results/" + g_bench_slug + ".json");
+    if (!json_path.empty()) {
+        if (writeJsonTo(results, g_bench_slug, baseline, json_path))
+            std::printf("wrote %s\n\n", json_path.c_str());
+        else
+            std::fprintf(stderr, "btbsim: failed to write %s\n",
+                         json_path.c_str());
+    }
+
+    const std::string csv_path =
+        outPathFromEnv("BTBSIM_CSV_OUT", "results/" + g_bench_slug + ".csv");
+    if (!csv_path.empty()) {
+        const std::filesystem::path p(csv_path);
+        std::error_code ec;
+        if (p.has_parent_path())
+            std::filesystem::create_directories(p.parent_path(), ec);
+        std::ofstream os(p);
+        if (os) {
+            results.writeCsv(os);
+            std::printf("wrote %s\n\n", csv_path.c_str());
+        } else {
+            std::fprintf(stderr, "btbsim: failed to write %s\n",
+                         csv_path.c_str());
+        }
+    }
 }
 
 void

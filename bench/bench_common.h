@@ -39,8 +39,28 @@ CpuConfig realIbtb16();
 /** Run all configurations over the suite, printing progress. */
 ResultSet runAll(const Context &ctx, const std::vector<CpuConfig> &configs);
 
-/** Print the normalized-IPC whisker table plus the detail table. */
+/**
+ * Print the normalized-IPC whisker table plus the detail table, then —
+ * when BTBSIM_JSON_OUT is set — write the schema-versioned result JSON:
+ * to the given path when the value looks like one, otherwise to
+ * results/<slug-of-bench-title>.json. BTBSIM_CSV_OUT does the same for
+ * the per-run CSV.
+ */
 void printFigure(const ResultSet &results, const std::string &baseline);
+
+/**
+ * Write @p results as result JSON for bench @p bench_name to @p path
+ * (parent directories are created). @return false on I/O failure.
+ */
+bool writeJsonTo(const ResultSet &results, const std::string &bench_name,
+                 const std::string &baseline, const std::string &path);
+
+/**
+ * Honour BTBSIM_JSON_OUT / BTBSIM_CSV_OUT for @p results (see
+ * printFigure). Benches with custom table printing call this directly so
+ * every bench produces machine-readable output.
+ */
+void exportResults(const ResultSet &results, const std::string &baseline);
 
 /** Note the paper's expected qualitative result under the tables. */
 void expectation(const std::string &text);

@@ -57,6 +57,8 @@ main()
     }
     std::printf("\n");
 
+    exportResults(rs, "I-BTB 16");
+
     expectation(
         "MB-BTB raises fetch PCs per access well above plain B-BTB at the "
         "same slot count (partially compensating misses by supplying "

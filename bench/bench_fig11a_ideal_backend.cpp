@@ -56,6 +56,8 @@ main()
     std::printf("%-12s %10s %14.3f  (min %.3f, max %.3f)\n\n", "geomean", "",
                 geomean(speedups), vecMin(speedups), vecMax(speedups));
 
+    exportResults(rs, "I-BTB 16 (ideal)");
+
     expectation(
         "With a dataflow-limited backend, MB-BTB 64 AllBr beats I-BTB 16 "
         "significantly (paper: 13.4%% geomean, 6.0%%-15.6%%), and the "

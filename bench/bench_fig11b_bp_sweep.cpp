@@ -24,6 +24,7 @@ main()
                 "min spdup", "geomean", "max spdup");
     std::printf("%s\n", std::string(58, '-').c_str());
 
+    ResultSet rs;
     for (unsigned kb : {64u, 32u, 16u, 8u, 4u, 2u}) {
         CpuConfig ibtb = idealIbtb16();
         ibtb.bpred.perceptron = PerceptronConfig::ofSizeKB(kb);
@@ -34,16 +35,23 @@ main()
         std::vector<double> speedups;
         double mpki = 0.0;
         for (const WorkloadSpec &spec : ctx.suite) {
-            const SimStats a = runOne(ibtb, spec, ctx.opt);
-            const SimStats b = runOne(mb, spec, ctx.opt);
+            SimStats a = runOne(ibtb, spec, ctx.opt);
+            SimStats b = runOne(mb, spec, ctx.opt);
             speedups.push_back(b.ipc / a.ipc);
             mpki += a.branch_mpki;
+            // Distinguish predictor sizes in the exported results.
+            a.config += " bp" + std::to_string(kb) + "KB";
+            b.config += " bp" + std::to_string(kb) + "KB";
+            rs.add(a);
+            rs.add(b);
         }
         mpki /= static_cast<double>(ctx.suite.size());
         std::printf("%5uKB %10.2f %12.3f %12.3f %12.3f\n", kb, mpki,
                     vecMin(speedups), geomean(speedups), vecMax(speedups));
     }
     std::printf("\n");
+
+    exportResults(rs, "");
 
     expectation(
         "Geomean MPKI rises as the predictor shrinks, and the MB-BTB "

@@ -1,11 +1,17 @@
 #!/bin/bash
 # Regenerate every paper figure/table. Scale via BTBSIM_WARMUP /
 # BTBSIM_MEASURE / BTBSIM_TRACES.
-set -u
+#
+# Each sim bench also writes machine-readable results to
+# results/<bench>.json (schema documented in src/obs/export.h); inspect or
+# regression-compare them with build/src/tools/btbsim-stats.
+set -euo pipefail
 cd "$(dirname "$0")"
 mkdir -p results
 for b in build/bench/bench_*; do
     name=$(basename "$b")
     echo "=== $name ==="
-    "$b" 2>&1 | tee "results/$name.txt"
+    # bench_simspeed (google-benchmark) and bench_characterization
+    # (analyzer-only) produce no result JSON; the env knob is a no-op there.
+    BTBSIM_JSON_OUT="results/${name}.json" "$b" 2>&1 | tee "results/$name.txt"
 done

@@ -16,15 +16,30 @@ Histogram::mean() const
     return sum / static_cast<double>(total_);
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+}
+
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    std::size_t n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(n));
 }
 
 double

@@ -29,16 +29,29 @@ class RunningMean
     double count() const { return count_; }
     double sum() const { return sum_; }
 
+    /** Pool another running mean into this one. */
+    void
+    merge(const RunningMean &other)
+    {
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
   private:
     double sum_ = 0.0;
     double count_ = 0.0;
 };
 
-/** Fixed-bucket histogram over small non-negative integers. */
+/** Fixed-bucket histogram over small non-negative integers. Values at or
+ *  beyond the last bucket clamp into it (overflow bucket). */
 class Histogram
 {
   public:
-    explicit Histogram(std::size_t buckets = 64) : buckets_(buckets, 0) {}
+    /** @p buckets is clamped to at least 1 so add() always has a valid
+     *  overflow bucket. */
+    explicit Histogram(std::size_t buckets = 64)
+        : buckets_(buckets > 0 ? buckets : 1, 0)
+    {}
 
     void
     add(std::size_t v)
@@ -51,16 +64,27 @@ class Histogram
 
     std::uint64_t count(std::size_t v) const { return buckets_.at(v); }
     std::uint64_t total() const { return total_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
     /** Mean of the recorded values (overflow bucket counted at its index). */
     double mean() const;
+
+    /** Add another histogram's counts bucket-wise. A wider @p other grows
+     *  this histogram; counts keep their bucket index. */
+    void merge(const Histogram &other);
 
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;
 };
 
-/** Geometric mean of a vector of strictly positive values. */
+/**
+ * Geometric mean over the strictly positive entries of @p values;
+ * non-positive entries are skipped (log is undefined for them) so a
+ * single zero IPC cannot poison a whole reported table. Returns 0 when
+ * no positive entry exists.
+ */
 double geomean(const std::vector<double> &values);
 
 /** Minimum / maximum helpers that tolerate empty input (returning 0). */

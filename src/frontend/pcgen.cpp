@@ -16,12 +16,17 @@ PcGen::runCycle(Cycle now)
 {
     if (waiting_resteer_ || now < ready_cycle_)
         return;
-    if (!ftq_->canAccept(next_fetch_pc_, redirect_pending_))
+    if (!ftq_->canAccept(next_fetch_pc_, redirect_pending_)) {
+        if (tracer_)
+            tracer_->record(now, obs::TraceEventType::kFtqStall,
+                            next_fetch_pc_);
         return; // Backpressure: the FTQ is full.
+    }
 
     const bool bypass = ftq_->empty();
     const int level0 = org_->beginAccess(next_fetch_pc_);
-    (void)level0;
+    if (tracer_ && level0 == 0)
+        tracer_->record(now, obs::TraceEventType::kBtbMiss, next_fetch_pc_);
     ++stats.accesses;
     deferred_updates_.clear();
 
@@ -128,6 +133,10 @@ PcGen::runCycle(Cycle now)
                 next_fetch_pc_ = in.next_pc;
                 waiting_resteer_ = true;
                 redirect_pending_ = true;
+                if (tracer_)
+                    tracer_->record(now,
+                                    obs::TraceEventType::kFetchRedirect,
+                                    in.pc, in.next_pc);
                 deferred_updates_.emplace_back(in, true);
                 break;
             }
@@ -208,6 +217,9 @@ PcGen::runCycle(Cycle now)
             next_fetch_pc_ = in.next_pc;
             waiting_resteer_ = true;
             redirect_pending_ = true;
+            if (tracer_)
+                tracer_->record(now, obs::TraceEventType::kFetchRedirect,
+                                in.pc, in.next_pc);
             break;
         }
 
@@ -236,8 +248,14 @@ PcGen::runCycle(Cycle now)
 
     // Apply the BTB updates after the access so the walk never observes
     // entries mutating underneath it.
-    for (const auto &[br, resteer] : deferred_updates_)
+    for (const auto &[br, resteer] : deferred_updates_) {
         org_->update(br, resteer);
+        // A resteer-triggered update fills or corrects the entry for this
+        // branch; that is the fill event external tooling cares about.
+        if (tracer_ && resteer)
+            tracer_->record(now, obs::TraceEventType::kBtbFill, br.pc,
+                            br.next_pc);
+    }
     deferred_updates_.clear();
 }
 

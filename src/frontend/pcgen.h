@@ -16,6 +16,7 @@
 #include "bpred/bpred_unit.h"
 #include "core/btb_org.h"
 #include "frontend/ftq.h"
+#include "obs/tracer.h"
 #include "trace/trace_source.h"
 
 namespace btbsim {
@@ -64,6 +65,9 @@ class PcGen
 
     bool waitingResteer() const { return waiting_resteer_; }
 
+    /** Attach the opt-in event tracer (nullptr = tracing off). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     PcGenStats stats;
 
   private:
@@ -71,6 +75,7 @@ class PcGen
     BPredUnit *bpred_;
     TraceSource *trace_;
     Ftq *ftq_;
+    obs::Tracer *tracer_ = nullptr;
 
     Instruction pending_;
     Addr next_fetch_pc_ = 0;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Machine-readable exporters for simulation results. The JSON document
+ * schema is versioned (kSchemaVersion, emitted as "schema_version") and
+ * documented in DESIGN.md §Observability; tools/btbsim-stats consumes it.
+ *
+ * Schema v1 (one document per bench invocation):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "generator": "btbsim",
+ *     "bench": "<bench slug>",
+ *     "baseline": "<config name or "">,
+ *     "runs": [
+ *       {
+ *         "config": "...", "workload": "...",
+ *         "stats": { instructions, cycles, ipc, branch_mpki, ... },
+ *         "counters": { "<component.stat>": <number>, ... },
+ *         "host": { "seconds": s, "minst_per_sec": r },
+ *         "samples": {
+ *           "interval_cycles": N,
+ *           "points": [ { cycle, instructions, ipc, l1_btb_hitrate,
+ *                         btb_hitrate, branch_mpki, misfetch_pki,
+ *                         ftq_occupancy, icache_mpki }, ... ]
+ *         }
+ *       }, ...
+ *     ],
+ *     "aggregates": {
+ *       "<config>": { "geomean_ipc": g, "normalized_ipc_geomean": n }
+ *     }
+ *   }
+ */
+
+#ifndef BTBSIM_OBS_EXPORT_H
+#define BTBSIM_OBS_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace btbsim {
+struct SimStats;
+}
+
+namespace btbsim::obs {
+
+/** Version of the result-JSON schema documented above. */
+constexpr int kSchemaVersion = 1;
+
+/** Emit one run as a JSON object (config/workload/stats/counters/...). */
+void writeSimStatsJson(JsonWriter &w, const SimStats &s);
+
+/** CSV header matching writeRunCsvRow's columns. */
+void writeRunsCsvHeader(std::ostream &os);
+
+/** One CSV row of a run's headline stats. */
+void writeRunCsvRow(std::ostream &os, const SimStats &s);
+
+/** The per-interval time series of one run as CSV (header + rows). */
+void writeSamplesCsv(std::ostream &os, const SimStats &s);
+
+/** Filesystem-safe slug: lowercase alnum, everything else collapsed
+ *  to single underscores ("I-BTB 16" -> "i_btb_16"). */
+std::string slugify(std::string_view s);
+
+} // namespace btbsim::obs
+
+#endif // BTBSIM_OBS_EXPORT_H

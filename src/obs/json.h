@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Dependency-free JSON support for the observability layer: a streaming
+ * writer (JsonWriter) used by the exporters, and a small recursive-descent
+ * parser (parseJson) used by tools/btbsim-stats to load result files.
+ *
+ * The writer never allocates per-value; the parser builds a JsonValue tree
+ * and is tolerant only of standard JSON (RFC 8259), no comments.
+ */
+
+#ifndef BTBSIM_OBS_JSON_H
+#define BTBSIM_OBS_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace btbsim::obs {
+
+/**
+ * Streaming JSON emitter with 2-space indentation. Containers are opened
+ * and closed explicitly; the writer tracks comma/newline placement.
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.kv("schema_version", 1);
+ *   w.key("runs"); w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Escape @p s per JSON string rules into @p os (no quotes added). */
+    static void escape(std::ostream &os, std::string_view s);
+
+  private:
+    struct Frame
+    {
+        bool is_object = false;
+        bool first = true;
+    };
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool after_key_ = false;
+
+    void beforeValue();
+    void indent();
+};
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Type : std::uint8_t {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /// Insertion-ordered object members.
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::kNull; }
+    bool isNumber() const { return type == Type::kNumber; }
+    bool isString() const { return type == Type::kString; }
+    bool isArray() const { return type == Type::kArray; }
+    bool isObject() const { return type == Type::kObject; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** find() that throws std::runtime_error naming the missing key. */
+    const JsonValue &at(std::string_view key) const;
+
+    /** Number cast with type check (throws std::runtime_error). */
+    double asNumber() const;
+    const std::string &asString() const;
+};
+
+/** Parse @p text; throws std::runtime_error with offset info on error. */
+JsonValue parseJson(std::string_view text);
+
+} // namespace btbsim::obs
+
+#endif // BTBSIM_OBS_JSON_H

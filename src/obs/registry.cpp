@@ -1,0 +1,81 @@
+#include "obs/registry.h"
+
+namespace btbsim::obs {
+
+std::uint64_t &
+StatRegistry::counter(const std::string &path)
+{
+    return counters_[path];
+}
+
+RunningMean &
+StatRegistry::mean(const std::string &path)
+{
+    return means_[path];
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &path, std::size_t buckets)
+{
+    auto it = hists_.find(path);
+    if (it == hists_.end())
+        it = hists_.emplace(path, Histogram(buckets)).first;
+    return it->second;
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return counters_.count(path) || means_.count(path) ||
+           hists_.count(path);
+}
+
+double
+StatRegistry::value(const std::string &path) const
+{
+    if (auto it = counters_.find(path); it != counters_.end())
+        return static_cast<double>(it->second);
+    if (auto it = means_.find(path); it != means_.end())
+        return it->second.mean();
+    if (auto it = hists_.find(path); it != hists_.end())
+        return it->second.mean();
+    return 0.0;
+}
+
+void
+StatRegistry::importStatSet(const std::string &prefix, const StatSet &s)
+{
+    for (const auto &[name, v] : s.all())
+        counters_[prefix.empty() ? name : prefix + "." + name] += v;
+}
+
+void
+StatRegistry::merge(const StatRegistry &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+    for (const auto &[k, m] : other.means_)
+        means_[k].merge(m);
+    for (const auto &[k, h] : other.hists_) {
+        auto it = hists_.find(k);
+        if (it == hists_.end())
+            hists_.emplace(k, h);
+        else
+            it->second.merge(h);
+    }
+}
+
+std::map<std::string, double>
+StatRegistry::flatten() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[k, v] : counters_)
+        out[k] = static_cast<double>(v);
+    for (const auto &[k, m] : means_)
+        out[k] = m.mean();
+    for (const auto &[k, h] : hists_)
+        out[k] = h.mean();
+    return out;
+}
+
+} // namespace btbsim::obs

@@ -1,0 +1,60 @@
+#include "obs/tracer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace btbsim::obs {
+
+const char *
+traceEventTypeName(TraceEventType t)
+{
+    switch (t) {
+      case TraceEventType::kFetchRedirect:
+        return "fetch_redirect";
+      case TraceEventType::kBtbMiss:
+        return "btb_miss";
+      case TraceEventType::kBtbFill:
+        return "btb_fill";
+      case TraceEventType::kBtbEvict:
+        return "btb_evict";
+      case TraceEventType::kFtqStall:
+        return "ftq_stall";
+      case TraceEventType::kBranchResolve:
+        return "branch_resolve";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity) : buf_(capacity > 0 ? capacity : 1) {}
+
+void
+Tracer::dumpJsonl(std::ostream &os) const
+{
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &e = at(i);
+        os << "{\"cycle\": " << e.cycle << ", \"type\": \""
+           << traceEventTypeName(e.type) << "\", \"pc\": " << e.pc
+           << ", \"aux\": " << e.aux
+           << ", \"level\": " << static_cast<unsigned>(e.level) << "}\n";
+    }
+}
+
+bool
+Tracer::enabledFromEnv()
+{
+    const char *v = std::getenv("BTBSIM_TRACE");
+    return v && *v && std::strcmp(v, "0") != 0;
+}
+
+std::size_t
+Tracer::capacityFromEnv()
+{
+    const char *v = std::getenv("BTBSIM_TRACE_CAP");
+    if (!v || !*v)
+        return kDefaultCapacity;
+    const std::uint64_t cap = std::strtoull(v, nullptr, 10);
+    return cap > 0 ? static_cast<std::size_t>(cap) : kDefaultCapacity;
+}
+
+} // namespace btbsim::obs

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Opt-in pipeline event tracer. Frontend and core components hold a
+ * Tracer pointer that is null unless tracing was requested (BTBSIM_TRACE
+ * or Cpu::attachTracer), so the disabled cost is a single predictable
+ * null-pointer branch per event site. Events are typed records in a
+ * bounded ring buffer — tracing a long run keeps the most recent window
+ * instead of growing without bound — and dump as JSONL, one event per
+ * line, for external tooling.
+ */
+
+#ifndef BTBSIM_OBS_TRACER_H
+#define BTBSIM_OBS_TRACER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+
+namespace btbsim::obs {
+
+/** Pipeline event kinds the tracer records. */
+enum class TraceEventType : std::uint8_t {
+    kFetchRedirect, ///< Frontend resteer (decode or execute resolved).
+    kBtbMiss,       ///< BTB access that hit no level.
+    kBtbFill,       ///< BTB trained after a resteer (fill/correction).
+    kBtbEvict,      ///< Entry displaced (when an organization reports it).
+    kFtqStall,      ///< PC generation blocked on a full FTQ.
+    kBranchResolve, ///< Execute-resolved branch consumed by the frontend.
+};
+
+/** Stable lowercase name used in the JSONL output. */
+const char *traceEventTypeName(TraceEventType t);
+
+/** One recorded event. @c aux is event-specific (e.g. branch target). */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Addr pc = 0;
+    Addr aux = 0;
+    TraceEventType type = TraceEventType::kFetchRedirect;
+    std::uint8_t level = 0; ///< BTB level where meaningful.
+};
+
+/** Bounded ring buffer of TraceEvents with JSONL export. */
+class Tracer
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    void
+    record(Cycle cycle, TraceEventType type, Addr pc, Addr aux = 0,
+           int level = 0)
+    {
+        TraceEvent &e = buf_[(head_ + count_) % buf_.size()];
+        e = {cycle, pc, aux, type, static_cast<std::uint8_t>(level)};
+        if (count_ < buf_.size())
+            ++count_;
+        else
+            head_ = (head_ + 1) % buf_.size();
+        ++total_;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+    /** Events currently retained (≤ capacity). */
+    std::size_t size() const { return count_; }
+    /** Events ever recorded; total() - size() were dropped (oldest). */
+    std::uint64_t total() const { return total_; }
+    std::uint64_t dropped() const { return total_ - count_; }
+
+    /** Retained event @p i, oldest first. */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+        total_ = 0;
+    }
+
+    /** Dump retained events as JSONL (one JSON object per line). */
+    void dumpJsonl(std::ostream &os) const;
+
+    // ---- environment opt-in ---------------------------------------------
+
+    /** True when BTBSIM_TRACE is set to a non-empty, non-"0" value. */
+    static bool enabledFromEnv();
+    /** BTBSIM_TRACE_CAP, or kDefaultCapacity when unset/invalid. */
+    static std::size_t capacityFromEnv();
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace btbsim::obs
+
+#endif // BTBSIM_OBS_TRACER_H

@@ -121,11 +121,21 @@ Cpu::allocate()
 }
 
 void
+Cpu::attachTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    pcgen_.setTracer(tracer);
+}
+
+void
 Cpu::step()
 {
     ++now_;
-    if (backend_.takeExecResteer(now_) != 0)
+    if (backend_.takeExecResteer(now_) != 0) {
         pcgen_.resteerResolved(now_);
+        if (tracer_)
+            tracer_->record(now_, obs::TraceEventType::kBranchResolve, 0);
+    }
     backend_.runCycle(now_);
     allocate();
     decode();
@@ -197,12 +207,17 @@ Cpu::run(std::uint64_t warmup, std::uint64_t measure)
     const std::uint64_t sample_period = 1'000'000;
     std::uint64_t next_sample = insts0 + sample_period;
     const std::uint64_t end = insts0 + measure;
+    obs::Sampler sampler(sample_interval_);
+    ftq_occ_sum_ = 0.0;
     while (backend_.committed() < end) {
         step();
+        ftq_occ_sum_ += static_cast<double>(ftq_.size());
         if (backend_.committed() >= next_sample) {
             sampleStructures();
             next_sample += sample_period;
         }
+        if (sampler.due(now_ - cycles0))
+            sampler.sample(sampleSnapshot(cycles0, insts0, pg0, i_miss0));
         if (now_ > guard) {
             std::fprintf(stderr, "btbsim: deadlock guard hit (%s / %s)\n",
                          stats_.workload.c_str(), stats_.config.c_str());
@@ -211,6 +226,8 @@ Cpu::run(std::uint64_t warmup, std::uint64_t measure)
     }
     if (occ_samples_ == 0.0)
         sampleStructures();
+    stats_.sample_interval = sampler.interval();
+    stats_.samples = sampler.take();
 
     // ---- reduce ----------------------------------------------------------
     const PcGenStats &pg = pcgen_.stats;
@@ -254,6 +271,80 @@ Cpu::run(std::uint64_t warmup, std::uint64_t measure)
         stats_.l2_slot_occupancy = occ_accum_.l2_slot_occupancy / occ_samples_;
         stats_.l1_redundancy = occ_accum_.l1_redundancy / occ_samples_;
         stats_.l2_redundancy = occ_accum_.l2_redundancy / occ_samples_;
+    }
+
+    harvestRegistry();
+    stats_.counters = registry_.flatten();
+}
+
+obs::SampleSnapshot
+Cpu::sampleSnapshot(Cycle cycles0, std::uint64_t insts0,
+                    const PcGenStats &pg0, std::uint64_t i_miss0) const
+{
+    const PcGenStats &pg = pcgen_.stats;
+    obs::SampleSnapshot s;
+    s.cycle = now_ - cycles0;
+    s.instructions = backend_.committed() - insts0;
+    s.taken_branches = pg.taken_branches - pg0.taken_branches;
+    s.taken_l1_hits = pg.taken_l1_hits - pg0.taken_l1_hits;
+    s.taken_l2_hits = pg.taken_l2_hits - pg0.taken_l2_hits;
+    s.mispredicts = pg.mispredicts - pg0.mispredicts;
+    s.misfetches = pg.misfetches - pg0.misfetches;
+    s.icache_misses = mem_.l1i().demandMisses() - i_miss0;
+    s.ftq_occupancy_sum = ftq_occ_sum_;
+    return s;
+}
+
+void
+Cpu::harvestRegistry()
+{
+    registry_.clear();
+
+    auto pg = registry_.scope("pcgen");
+    pg.counter("accesses") = pcgen_.stats.accesses;
+    pg.counter("fetch_pcs") = pcgen_.stats.fetch_pcs;
+    pg.counter("branches") = pcgen_.stats.branches;
+    pg.counter("taken_branches") = pcgen_.stats.taken_branches;
+    pg.counter("taken_l1_hits") = pcgen_.stats.taken_l1_hits;
+    pg.counter("taken_l2_hits") = pcgen_.stats.taken_l2_hits;
+    pg.counter("cond_branches") = pcgen_.stats.cond_branches;
+    pg.counter("cond_mispredicts") = pcgen_.stats.cond_mispredicts;
+    pg.counter("mispredicts") = pcgen_.stats.mispredicts;
+    pg.counter("misfetches") = pcgen_.stats.misfetches;
+    pg.counter("misp_cond") = pcgen_.stats.misp_cond;
+    pg.counter("misp_indirect") = pcgen_.stats.misp_indirect;
+    pg.counter("misp_return") = pcgen_.stats.misp_return;
+    pg.counter("misp_btbmiss") = pcgen_.stats.misp_btbmiss;
+    pg.counter("taken_bubbles") = pcgen_.stats.taken_bubbles;
+
+    registry_.scope("btb").importStatSet(org_->stats);
+
+    auto cacheScope = [this](const char *name, const Cache &c) {
+        auto s = registry_.scope(name);
+        s.counter("demand_accesses") = c.demandAccesses();
+        s.counter("demand_misses") = c.demandMisses();
+        s.importStatSet(c.stats);
+    };
+    cacheScope("l1i", mem_.l1i());
+    cacheScope("l1d", mem_.l1d());
+    cacheScope("l2", mem_.l2());
+    cacheScope("llc", mem_.llc());
+    registry_.counter("dram.accesses") = mem_.dram().accesses();
+
+    auto be = registry_.scope("backend");
+    be.counter("committed") = backend_.committed();
+    be.importStatSet(backend_.stats);
+
+    auto ftq = registry_.scope("ftq");
+    ftq.counter("capacity") = ftq_.capacity();
+    if (stats_.cycles > 0)
+        ftq.mean("occupancy").add(
+            ftq_occ_sum_ / static_cast<double>(stats_.cycles));
+
+    if (tracer_) {
+        auto tr = registry_.scope("trace");
+        tr.counter("events") = tracer_->total();
+        tr.counter("dropped") = tracer_->dropped();
     }
 }
 

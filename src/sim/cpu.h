@@ -16,6 +16,9 @@
 #include "frontend/ftq.h"
 #include "frontend/pcgen.h"
 #include "memory/memhier.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/tracer.h"
 #include "sim/config.h"
 #include "sim/sim_stats.h"
 #include "trace/trace_source.h"
@@ -58,6 +61,25 @@ class Cpu
     MemHier &mem() { return mem_; }
     const PcGenStats &pcgenStats() const { return pcgen_.stats; }
 
+    /**
+     * Attach (or detach with nullptr) a pipeline event tracer. The
+     * tracer pointer is propagated to the frontend; when null, every
+     * event site reduces to one predictable branch.
+     */
+    void attachTracer(obs::Tracer *tracer);
+    obs::Tracer *tracer() { return tracer_; }
+
+    /** Interval (cycles) of the time-series sampler; 0 disables it.
+     *  Defaults to BTBSIM_SAMPLE_INTERVAL / 100k. Takes effect at the
+     *  next run(). */
+    void setSampleInterval(std::uint64_t cycles)
+    {
+        sample_interval_ = cycles;
+    }
+
+    /** Hierarchical stats harvested from every component at end of run. */
+    const obs::StatRegistry &registry() const { return registry_; }
+
   private:
     CpuConfig cfg_;
     TraceSource *trace_;
@@ -79,12 +101,22 @@ class Cpu
     double occ_samples_ = 0.0;
     OccupancySample occ_accum_;
 
+    // Observability.
+    obs::Tracer *tracer_ = nullptr;
+    obs::StatRegistry registry_;
+    std::uint64_t sample_interval_ = obs::Sampler::intervalFromEnv();
+    double ftq_occ_sum_ = 0.0; ///< Per-cycle FTQ size, measurement only.
+
     void fetchIssue();
     void predecodeLine(Addr line);
     void deliver();
     void decode();
     void allocate();
     void sampleStructures();
+    obs::SampleSnapshot sampleSnapshot(Cycle cycles0, std::uint64_t insts0,
+                                       const PcGenStats &pg0,
+                                       std::uint64_t i_miss0) const;
+    void harvestRegistry();
 };
 
 } // namespace btbsim

@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "common/stats.h"
+#include "obs/export.h"
+#include "obs/json.h"
 
 namespace btbsim {
 
@@ -115,11 +117,12 @@ ResultSet::printDetailTable(std::ostream &os) const
        << std::setw(8) << "gm-IPC" << std::setw(8) << "PCs/ac"
        << std::setw(8) << "MPKI" << std::setw(8) << "MFPKI"
        << std::setw(8) << "L1hit%" << std::setw(8) << "hit%"
-       << std::setw(8) << "occL1" << std::setw(8) << "redL1" << "\n";
-    os << std::string(92, '-') << "\n";
+       << std::setw(8) << "occL1" << std::setw(8) << "redL1"
+       << std::setw(8) << "Mi/s" << "\n";
+    os << std::string(100, '-') << "\n";
     os << std::fixed << std::setprecision(2);
     for (const std::string &cfg : configs()) {
-        std::vector<double> pcs, mpki, mfpki, l1hit, hit, occ, red;
+        std::vector<double> pcs, mpki, mfpki, l1hit, hit, occ, red, speed;
         for (const SimStats &s : results_) {
             if (s.config != cfg)
                 continue;
@@ -130,6 +133,7 @@ ResultSet::printDetailTable(std::ostream &os) const
             hit.push_back(s.btb_hitrate);
             occ.push_back(s.l1_slot_occupancy);
             red.push_back(s.l1_redundancy);
+            speed.push_back(s.minst_per_host_sec);
         }
         auto mean = [](const std::vector<double> &v) {
             double sum = 0.0;
@@ -142,7 +146,8 @@ ResultSet::printDetailTable(std::ostream &os) const
            << mean(pcs) << std::setw(8) << mean(mpki) << std::setw(8)
            << mean(mfpki) << std::setw(8) << mean(l1hit) * 100.0
            << std::setw(8) << mean(hit) * 100.0 << std::setw(8) << mean(occ)
-           << std::setw(8) << mean(red) << "\n";
+           << std::setw(8) << mean(red) << std::setw(8) << mean(speed)
+           << "\n";
     }
 }
 
@@ -164,6 +169,60 @@ ResultSet::printPerWorkload(std::ostream &os, const std::string &config) const
            << s.l1_btb_hitrate * 100.0 << std::setw(8) << s.icache_mpki
            << std::setw(8) << s.avg_dyn_bb_size << "\n";
     }
+}
+
+void
+ResultSet::writeJson(std::ostream &os, const std::string &bench,
+                     const std::string &baseline) const
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema_version", obs::kSchemaVersion);
+    w.kv("generator", "btbsim");
+    w.kv("bench", bench);
+    w.kv("baseline", baseline);
+
+    w.key("runs");
+    w.beginArray();
+    for (const SimStats &s : results_)
+        obs::writeSimStatsJson(w, s);
+    w.endArray();
+
+    w.key("aggregates");
+    w.beginObject();
+    for (const std::string &cfg : configs()) {
+        w.key(cfg);
+        w.beginObject();
+        w.kv("geomean_ipc", geomeanIpc(results_, cfg));
+        if (!baseline.empty()) {
+            const std::vector<double> norm = normalizedIpc(cfg, baseline);
+            if (!norm.empty())
+                w.kv("normalized_ipc_geomean", geomean(norm));
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+void
+ResultSet::writeCsv(std::ostream &os) const
+{
+    obs::writeRunsCsvHeader(os);
+    for (const SimStats &s : results_)
+        obs::writeRunCsvRow(os, s);
+}
+
+std::map<std::string, double>
+aggregateCounters(const std::vector<SimStats> &all)
+{
+    std::map<std::string, double> out;
+    for (const SimStats &s : all)
+        for (const auto &[name, v] : s.counters)
+            out[name] += v;
+    return out;
 }
 
 } // namespace btbsim

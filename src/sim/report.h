@@ -7,6 +7,7 @@
 #define BTBSIM_SIM_REPORT_H
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,12 +58,28 @@ class ResultSet
     /** Per-workload rows for a single config. */
     void printPerWorkload(std::ostream &os, const std::string &config) const;
 
+    /**
+     * Emit the schema-versioned result JSON (obs/export.h documents the
+     * schema). @p bench names the producing bench; @p baseline (may be
+     * empty) selects the config used for normalized-IPC aggregates.
+     */
+    void writeJson(std::ostream &os, const std::string &bench,
+                   const std::string &baseline) const;
+
+    /** One CSV row per (config, workload) run. */
+    void writeCsv(std::ostream &os) const;
+
   private:
     std::vector<SimStats> results_;
 };
 
 /** Geomean of absolute IPC for one config across workloads. */
 double geomeanIpc(const std::vector<SimStats> &all, const std::string &config);
+
+/** Merge the flattened per-run counters of @p all into one aggregate map
+ *  (suite-level totals across the runMatrix results). */
+std::map<std::string, double>
+aggregateCounters(const std::vector<SimStats> &all);
 
 } // namespace btbsim
 

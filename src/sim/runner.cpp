@@ -1,9 +1,15 @@
 #include "sim/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <thread>
 
+#include "obs/export.h"
+#include "obs/tracer.h"
 #include "sim/cpu.h"
 
 namespace btbsim {
@@ -17,6 +23,26 @@ envU64(const char *name, std::uint64_t fallback)
     if (!v || !*v)
         return fallback;
     return std::strtoull(v, nullptr, 10);
+}
+
+/** Dump a run's trace ring buffer to BTBSIM_TRACE_DIR (default
+ *  results/traces) as <config>__<workload>.jsonl. */
+void
+dumpTrace(const obs::Tracer &tracer, const SimStats &s)
+{
+    const char *dir_env = std::getenv("BTBSIM_TRACE_DIR");
+    const std::filesystem::path dir =
+        (dir_env && *dir_env) ? dir_env : "results/traces";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return;
+    const std::filesystem::path file =
+        dir / (obs::slugify(s.config) + "__" + obs::slugify(s.workload) +
+               ".jsonl");
+    std::ofstream os(file);
+    if (os)
+        tracer.dumpJsonl(os);
 }
 
 } // namespace
@@ -37,8 +63,27 @@ runOne(const CpuConfig &cfg, const WorkloadSpec &spec, const RunOptions &opt)
 {
     auto workload = makeWorkload(spec);
     Cpu cpu(cfg, *workload);
+
+    std::unique_ptr<obs::Tracer> tracer;
+    if (obs::Tracer::enabledFromEnv()) {
+        tracer = std::make_unique<obs::Tracer>(obs::Tracer::capacityFromEnv());
+        cpu.attachTracer(tracer.get());
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
     cpu.run(opt.warmup, opt.measure);
-    return cpu.stats();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    SimStats s = cpu.stats();
+    s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double total_insts =
+        static_cast<double>(opt.warmup) + static_cast<double>(s.instructions);
+    s.minst_per_host_sec =
+        s.host_seconds > 0 ? total_insts / 1e6 / s.host_seconds : 0.0;
+
+    if (tracer)
+        dumpTrace(*tracer, s);
+    return s;
 }
 
 std::vector<SimStats>

@@ -8,7 +8,11 @@
 #define BTBSIM_SIM_SIM_STATS_H
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
+
+#include "obs/sampler.h"
 
 namespace btbsim {
 
@@ -43,6 +47,14 @@ struct SimStats
     // Memory.
     double icache_mpki = 0.0;
     double avg_dyn_bb_size = 0.0; ///< Instructions per dynamic branch.
+
+    // Observability (src/obs): within-run time series, the flattened
+    // dotted-path stat registry, and host-side profiling of the run.
+    std::uint64_t sample_interval = 0; ///< Cycles per sample (0 = none).
+    std::vector<obs::IntervalSample> samples;
+    std::map<std::string, double> counters; ///< "component.stat" -> value.
+    double host_seconds = 0.0;          ///< Wall time of the whole run.
+    double minst_per_host_sec = 0.0;    ///< Sim speed (M instr / host s).
 };
 
 } // namespace btbsim

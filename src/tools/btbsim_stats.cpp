@@ -1,0 +1,213 @@
+/**
+ * @file
+ * btbsim-stats — inspect and compare btbsim result JSON (schema v1, see
+ * obs/export.h).
+ *
+ *   btbsim-stats show <file.json>
+ *       Validate the file and print per-config aggregates.
+ *
+ *   btbsim-stats diff <old.json> <new.json> [--threshold FRAC]
+ *       Match runs by (config, workload), compare per-config geomean IPC
+ *       and exit 1 when any config regresses by more than FRAC (default
+ *       0.02 = 2%). Used by CI as a regression gate.
+ *
+ * Exit codes: 0 ok, 1 regression found, 2 usage or parse error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace {
+
+using btbsim::obs::JsonValue;
+
+struct Run
+{
+    std::string config;
+    std::string workload;
+    double ipc = 0.0;
+    double branch_mpki = 0.0;
+    std::size_t sample_points = 0;
+};
+
+struct Document
+{
+    int schema_version = 0;
+    std::string bench;
+    std::vector<Run> runs;
+};
+
+Document
+loadDocument(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const JsonValue root = btbsim::obs::parseJson(buf.str());
+
+    Document doc;
+    doc.schema_version =
+        static_cast<int>(root.at("schema_version").asNumber());
+    if (doc.schema_version != btbsim::obs::kSchemaVersion)
+        throw std::runtime_error(
+            path + ": unsupported schema_version " +
+            std::to_string(doc.schema_version) + " (tool supports " +
+            std::to_string(btbsim::obs::kSchemaVersion) + ")");
+    if (const JsonValue *b = root.find("bench"))
+        doc.bench = b->isString() ? b->str : "";
+
+    for (const JsonValue &r : root.at("runs").array) {
+        Run run;
+        run.config = r.at("config").asString();
+        run.workload = r.at("workload").asString();
+        const JsonValue &stats = r.at("stats");
+        run.ipc = stats.at("ipc").asNumber();
+        if (const JsonValue *m = stats.find("branch_mpki"))
+            run.branch_mpki = m->isNumber() ? m->number : 0.0;
+        if (const JsonValue *s = r.find("samples"))
+            if (const JsonValue *pts = s->find("points"))
+                run.sample_points = pts->array.size();
+        doc.runs.push_back(std::move(run));
+    }
+    return doc;
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double x : v)
+        if (x > 0) {
+            log_sum += std::log(x);
+            ++n;
+        }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+std::map<std::string, std::vector<double>>
+ipcByConfig(const Document &doc)
+{
+    std::map<std::string, std::vector<double>> out;
+    for (const Run &r : doc.runs)
+        out[r.config].push_back(r.ipc);
+    return out;
+}
+
+int
+cmdShow(const std::string &path)
+{
+    const Document doc = loadDocument(path);
+    std::printf("%s: schema v%d, bench \"%s\", %zu runs\n", path.c_str(),
+                doc.schema_version, doc.bench.c_str(), doc.runs.size());
+    std::printf("%-32s %6s %12s %10s\n", "config", "runs", "geomean IPC",
+                "samples");
+    std::printf("%s\n", std::string(64, '-').c_str());
+    std::map<std::string, std::size_t> samples;
+    for (const Run &r : doc.runs)
+        samples[r.config] += r.sample_points;
+    for (const auto &[cfg, ipcs] : ipcByConfig(doc))
+        std::printf("%-32s %6zu %12.3f %10zu\n", cfg.c_str(), ipcs.size(),
+                    geomean(ipcs), samples[cfg]);
+    return 0;
+}
+
+int
+cmdDiff(const std::string &old_path, const std::string &new_path,
+        double threshold)
+{
+    const Document a = loadDocument(old_path);
+    const Document b = loadDocument(new_path);
+
+    std::map<std::pair<std::string, std::string>, double> old_ipc;
+    for (const Run &r : a.runs)
+        old_ipc[{r.config, r.workload}] = r.ipc;
+
+    // Per-config geomean over the runs present in BOTH files.
+    std::map<std::string, std::vector<double>> old_by_cfg, new_by_cfg;
+    std::size_t matched = 0;
+    for (const Run &r : b.runs) {
+        auto it = old_ipc.find({r.config, r.workload});
+        if (it == old_ipc.end())
+            continue;
+        ++matched;
+        old_by_cfg[r.config].push_back(it->second);
+        new_by_cfg[r.config].push_back(r.ipc);
+    }
+
+    if (matched == 0) {
+        std::fprintf(stderr,
+                     "no (config, workload) pairs in common between %s "
+                     "and %s\n",
+                     old_path.c_str(), new_path.c_str());
+        return 2;
+    }
+
+    std::printf("%zu matched runs; regression threshold %.1f%%\n\n", matched,
+                threshold * 100.0);
+    std::printf("%-32s %10s %10s %9s\n", "config", "old IPC", "new IPC",
+                "delta");
+    std::printf("%s\n", std::string(64, '-').c_str());
+
+    bool regression = false;
+    for (const auto &[cfg, old_v] : old_by_cfg) {
+        const double g_old = geomean(old_v);
+        const double g_new = geomean(new_by_cfg[cfg]);
+        const double delta = g_old > 0 ? (g_new - g_old) / g_old : 0.0;
+        const bool bad = delta < -threshold;
+        regression = regression || bad;
+        std::printf("%-32s %10.3f %10.3f %+8.2f%%%s\n", cfg.c_str(), g_old,
+                    g_new, delta * 100.0, bad ? "  <-- REGRESSION" : "");
+    }
+
+    if (regression) {
+        std::printf("\nIPC regression beyond %.1f%% detected.\n",
+                    threshold * 100.0);
+        return 1;
+    }
+    std::printf("\nno IPC regression beyond %.1f%%.\n", threshold * 100.0);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btbsim-stats show <file.json>\n"
+        "       btbsim-stats diff <old.json> <new.json> [--threshold F]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc >= 3 && std::strcmp(argv[1], "show") == 0)
+            return cmdShow(argv[2]);
+        if (argc >= 4 && std::strcmp(argv[1], "diff") == 0) {
+            double threshold = 0.02;
+            for (int i = 4; i + 1 < argc; ++i)
+                if (std::strcmp(argv[i], "--threshold") == 0)
+                    threshold = std::atof(argv[i + 1]);
+            return cmdDiff(argv[2], argv[3], threshold);
+        }
+        usage();
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "btbsim-stats: %s\n", e.what());
+        return 2;
+    }
+}

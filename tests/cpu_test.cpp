@@ -134,3 +134,40 @@ TEST(Cpu, StepAdvancesOneCycle)
     cpu.step();
     EXPECT_EQ(cpu.cycleCount(), 2u);
 }
+
+TEST(Cpu, ObservabilityHarvest)
+{
+    VectorTrace trace(jumpLoop(0x1000, 15));
+    CpuConfig cfg;
+    Cpu cpu(cfg, trace);
+    cpu.setSampleInterval(200);
+
+    obs::Tracer tracer(1024);
+    cpu.attachTracer(&tracer);
+
+    cpu.run(2000, 8000);
+    const SimStats &s = cpu.stats();
+
+    // Time series: 200-cycle interval over a ~1000-cycle measurement.
+    EXPECT_EQ(s.sample_interval, 200u);
+    EXPECT_GE(s.samples.size(), 2u);
+    EXPECT_GT(s.samples.front().ipc, 0.0);
+    for (std::size_t i = 1; i < s.samples.size(); ++i)
+        EXPECT_GT(s.samples[i].cycle, s.samples[i - 1].cycle);
+
+    // Registry: harvested into the flattened counters map.
+    EXPECT_GT(s.counters.at("pcgen.accesses"), 0.0);
+    EXPECT_GT(s.counters.at("backend.committed"), 0.0);
+    EXPECT_GT(s.counters.at("ftq.occupancy"), 0.0);
+    EXPECT_GT(s.counters.at("trace.events"), 0.0);
+
+    // Tracer: the cold-start BTB misses and their fills must be visible.
+    EXPECT_GT(tracer.total(), 0u);
+    bool saw_miss = false, saw_fill = false;
+    for (std::size_t i = 0; i < tracer.size(); ++i) {
+        saw_miss |= tracer.at(i).type == obs::TraceEventType::kBtbMiss;
+        saw_fill |= tracer.at(i).type == obs::TraceEventType::kBtbFill;
+    }
+    EXPECT_TRUE(saw_miss);
+    EXPECT_TRUE(saw_fill);
+}

@@ -1,0 +1,120 @@
+/** @file Unit tests for the dependency-free JSON writer and parser. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+using namespace btbsim::obs;
+
+TEST(JsonWriter, ObjectAndArrayShape)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema_version", 1);
+    w.kv("name", "btbsim");
+    w.key("runs");
+    w.beginArray();
+    w.value(std::uint64_t{7});
+    w.value(2.5);
+    w.value(true);
+    w.valueNull();
+    w.endArray();
+    w.endObject();
+
+    const JsonValue root = parseJson(os.str());
+    ASSERT_TRUE(root.isObject());
+    EXPECT_DOUBLE_EQ(root.at("schema_version").asNumber(), 1.0);
+    EXPECT_EQ(root.at("name").asString(), "btbsim");
+    const JsonValue &runs = root.at("runs");
+    ASSERT_TRUE(runs.isArray());
+    ASSERT_EQ(runs.array.size(), 4u);
+    EXPECT_DOUBLE_EQ(runs.array[0].asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(runs.array[1].asNumber(), 2.5);
+    EXPECT_TRUE(runs.array[2].boolean);
+    EXPECT_TRUE(runs.array[3].isNull());
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("s", "quote\" slash\\ tab\t nl\n ctrl\x01");
+    w.endObject();
+
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\\\""), std::string::npos);
+    EXPECT_NE(text.find("\\\\"), std::string::npos);
+    EXPECT_NE(text.find("\\t"), std::string::npos);
+    EXPECT_NE(text.find("\\n"), std::string::npos);
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+
+    // And it round-trips through the parser.
+    const JsonValue root = parseJson(text);
+    EXPECT_EQ(root.at("s").asString(), "quote\" slash\\ tab\t nl\n ctrl\x01");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.value(std::nan(""));
+    w.value(INFINITY);
+    w.endArray();
+
+    const JsonValue root = parseJson(os.str());
+    ASSERT_EQ(root.array.size(), 2u);
+    EXPECT_TRUE(root.array[0].isNull());
+    EXPECT_TRUE(root.array[1].isNull());
+}
+
+TEST(JsonParser, Literals)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").boolean);
+    EXPECT_FALSE(parseJson("false").boolean);
+    EXPECT_DOUBLE_EQ(parseJson("-12.5e2").asNumber(), -1250.0);
+    EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParser, UnicodeEscape)
+{
+    const JsonValue v = parseJson("\"\\u00e9\\u0041\"");
+    EXPECT_EQ(v.asString(), "\xc3\xa9"
+                            "A"); // é as UTF-8, then 'A'
+}
+
+TEST(JsonParser, NestedStructure)
+{
+    const JsonValue root =
+        parseJson(R"({"a": [1, {"b": "c"}, []], "d": {}})");
+    EXPECT_EQ(root.at("a").array.size(), 3u);
+    EXPECT_EQ(root.at("a").array[1].at("b").asString(), "c");
+    EXPECT_TRUE(root.at("a").array[2].array.empty());
+    EXPECT_TRUE(root.at("d").isObject());
+    EXPECT_EQ(root.find("missing"), nullptr);
+    EXPECT_THROW((void)root.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    EXPECT_THROW((void)parseJson(""), std::runtime_error);
+    EXPECT_THROW((void)parseJson("{"), std::runtime_error);
+    EXPECT_THROW((void)parseJson("[1,]"), std::runtime_error);
+    EXPECT_THROW((void)parseJson("{\"a\" 1}"), std::runtime_error);
+    EXPECT_THROW((void)parseJson("\"unterminated"), std::runtime_error);
+    EXPECT_THROW((void)parseJson("nulL"), std::runtime_error);
+    EXPECT_THROW((void)parseJson("1 2"), std::runtime_error); // trailing junk
+}
+
+TEST(JsonParser, TypeMismatchThrows)
+{
+    const JsonValue v = parseJson("{\"s\": \"x\", \"n\": 3}");
+    EXPECT_THROW((void)v.at("s").asNumber(), std::runtime_error);
+    EXPECT_THROW((void)v.at("n").asString(), std::runtime_error);
+}

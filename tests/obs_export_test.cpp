@@ -1,0 +1,155 @@
+/** @file JSON/CSV round-trip tests for the result exporters. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "sim/report.h"
+#include "sim/sim_stats.h"
+
+using namespace btbsim;
+using obs::JsonValue;
+
+namespace {
+
+SimStats
+makeRun(const std::string &config, const std::string &workload, double ipc)
+{
+    SimStats s;
+    s.config = config;
+    s.workload = workload;
+    s.instructions = 1'000'000;
+    s.cycles = static_cast<std::uint64_t>(1'000'000 / ipc);
+    s.ipc = ipc;
+    s.branch_mpki = 3.5;
+    s.misfetch_pki = 1.25;
+    s.l1_btb_hitrate = 0.97;
+    s.btb_hitrate = 0.99;
+    s.icache_mpki = 0.5;
+    s.host_seconds = 2.0;
+    s.minst_per_host_sec = 0.5;
+    s.counters["pcgen.accesses"] = 123456;
+    s.counters["l1i.demand_misses"] = 789;
+
+    s.sample_interval = 100'000;
+    for (int i = 1; i <= 3; ++i) {
+        obs::IntervalSample p;
+        p.cycle = 100'000u * i;
+        p.instructions = 150'000;
+        p.ipc = 1.5;
+        p.ftq_occupancy = 12.0 + i;
+        s.samples.push_back(p);
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(ObsExport, JsonRoundTrip)
+{
+    ResultSet rs;
+    rs.add(makeRun("I-BTB 16", "wl-a", 2.0));
+    rs.add(makeRun("I-BTB 16", "wl-b", 1.0));
+    rs.add(makeRun("B-BTB 16", "wl-a", 1.5));
+
+    std::ostringstream os;
+    rs.writeJson(os, "unit-test", "I-BTB 16");
+
+    const JsonValue root = obs::parseJson(os.str());
+    EXPECT_DOUBLE_EQ(root.at("schema_version").asNumber(),
+                     obs::kSchemaVersion);
+    EXPECT_EQ(root.at("generator").asString(), "btbsim");
+    EXPECT_EQ(root.at("bench").asString(), "unit-test");
+    EXPECT_EQ(root.at("baseline").asString(), "I-BTB 16");
+
+    const JsonValue &runs = root.at("runs");
+    ASSERT_EQ(runs.array.size(), 3u);
+    const JsonValue &r0 = runs.array[0];
+    EXPECT_EQ(r0.at("config").asString(), "I-BTB 16");
+    EXPECT_EQ(r0.at("workload").asString(), "wl-a");
+
+    const JsonValue &stats = r0.at("stats");
+    EXPECT_DOUBLE_EQ(stats.at("ipc").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.at("instructions").asNumber(), 1e6);
+    EXPECT_DOUBLE_EQ(stats.at("branch_mpki").asNumber(), 3.5);
+    EXPECT_DOUBLE_EQ(stats.at("l1_btb_hitrate").asNumber(), 0.97);
+
+    EXPECT_DOUBLE_EQ(r0.at("counters").at("pcgen.accesses").asNumber(),
+                     123456.0);
+    EXPECT_DOUBLE_EQ(r0.at("host").at("seconds").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(r0.at("host").at("minst_per_sec").asNumber(), 0.5);
+
+    const JsonValue &samples = r0.at("samples");
+    EXPECT_DOUBLE_EQ(samples.at("interval_cycles").asNumber(), 100'000.0);
+    const JsonValue &pts = samples.at("points");
+    ASSERT_EQ(pts.array.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts.array[0].at("cycle").asNumber(), 100'000.0);
+    EXPECT_DOUBLE_EQ(pts.array[2].at("ftq_occupancy").asNumber(), 15.0);
+
+    // Aggregates: per-config geomean IPC, plus normalized when a baseline
+    // is given.
+    const JsonValue &agg = root.at("aggregates");
+    const JsonValue &ibtb = agg.at("I-BTB 16");
+    EXPECT_NEAR(ibtb.at("geomean_ipc").asNumber(), std::sqrt(2.0), 1e-9);
+    EXPECT_DOUBLE_EQ(ibtb.at("normalized_ipc_geomean").asNumber(), 1.0);
+    const JsonValue &bbtb = agg.at("B-BTB 16");
+    EXPECT_DOUBLE_EQ(bbtb.at("geomean_ipc").asNumber(), 1.5);
+    // B-BTB only has wl-a in common with the baseline: 1.5 / 2.0.
+    EXPECT_DOUBLE_EQ(bbtb.at("normalized_ipc_geomean").asNumber(), 0.75);
+}
+
+TEST(ObsExport, CsvHasHeaderAndOneRowPerRun)
+{
+    ResultSet rs;
+    rs.add(makeRun("cfg \"x\"", "wl,1", 1.0));
+    rs.add(makeRun("cfg \"x\"", "wl2", 2.0));
+
+    std::ostringstream os;
+    rs.writeCsv(os);
+    std::istringstream is(os.str());
+    std::string header, row1, row2, extra;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, row1));
+    ASSERT_TRUE(std::getline(is, row2));
+    EXPECT_FALSE(std::getline(is, extra));
+
+    EXPECT_EQ(header.rfind("config,workload,", 0), 0u);
+    EXPECT_NE(header.find("ipc"), std::string::npos);
+    EXPECT_NE(header.find("minst_per_host_sec"), std::string::npos);
+    // Embedded quotes double, fields with commas/quotes get quoted.
+    EXPECT_EQ(row1.rfind("\"cfg \"\"x\"\"\",\"wl,1\",", 0), 0u);
+}
+
+TEST(ObsExport, SamplesCsv)
+{
+    const SimStats s = makeRun("c", "w", 1.0);
+    std::ostringstream os;
+    obs::writeSamplesCsv(os, s);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line))
+        ++lines;
+    EXPECT_EQ(lines, 1u + s.samples.size()); // header + one row per point
+}
+
+TEST(ObsExport, Slugify)
+{
+    EXPECT_EQ(obs::slugify("I-BTB 16"), "i_btb_16");
+    EXPECT_EQ(obs::slugify("Fig. 10: fetch PCs / access"),
+              "fig_10_fetch_pcs_access");
+    EXPECT_EQ(obs::slugify(""), "unnamed");
+    EXPECT_EQ(obs::slugify("---"), "unnamed");
+}
+
+TEST(ObsExport, AggregateCountersSumsAcrossRuns)
+{
+    std::vector<SimStats> v{makeRun("a", "w1", 1.0), makeRun("a", "w2", 2.0)};
+    const auto agg = aggregateCounters(v);
+    EXPECT_DOUBLE_EQ(agg.at("pcgen.accesses"), 2 * 123456.0);
+    EXPECT_DOUBLE_EQ(agg.at("l1i.demand_misses"), 2 * 789.0);
+}

@@ -1,0 +1,124 @@
+/** @file Unit tests for the interval time-series sampler. */
+
+#include <gtest/gtest.h>
+
+#include "obs/sampler.h"
+
+using namespace btbsim::obs;
+
+namespace {
+
+SampleSnapshot
+snap(std::uint64_t cycle, std::uint64_t insts)
+{
+    SampleSnapshot s;
+    s.cycle = cycle;
+    s.instructions = insts;
+    return s;
+}
+
+} // namespace
+
+TEST(Sampler, IntervalBoundaries)
+{
+    Sampler s(100);
+    EXPECT_TRUE(s.enabled());
+    EXPECT_EQ(s.interval(), 100u);
+    EXPECT_FALSE(s.due(0));
+    EXPECT_FALSE(s.due(99));
+    EXPECT_TRUE(s.due(100)); // boundary is inclusive
+    EXPECT_TRUE(s.due(101));
+
+    s.sample(snap(100, 250));
+    // Re-armed exactly one interval past the sampled cycle.
+    EXPECT_FALSE(s.due(199));
+    EXPECT_TRUE(s.due(200));
+}
+
+TEST(Sampler, ZeroIntervalDisables)
+{
+    Sampler s(0);
+    EXPECT_FALSE(s.enabled());
+    EXPECT_FALSE(s.due(0));
+    EXPECT_FALSE(s.due(1'000'000));
+}
+
+TEST(Sampler, DeltaRatesNotCumulative)
+{
+    Sampler s(100);
+
+    SampleSnapshot a = snap(100, 150);
+    a.taken_branches = 10;
+    a.taken_l1_hits = 8;
+    a.taken_l2_hits = 1;
+    a.mispredicts = 3;
+    a.misfetches = 1;
+    a.icache_misses = 2;
+    a.ftq_occupancy_sum = 400.0;
+    s.sample(a);
+
+    SampleSnapshot b = snap(300, 450); // 200 cycles, 300 insts later
+    b.taken_branches = 30;
+    b.taken_l1_hits = 18;
+    b.taken_l2_hits = 7;
+    b.mispredicts = 6;
+    b.misfetches = 4;
+    b.icache_misses = 5;
+    b.ftq_occupancy_sum = 1000.0;
+    s.sample(b);
+
+    ASSERT_EQ(s.samples().size(), 2u);
+    const IntervalSample &s0 = s.samples()[0];
+    EXPECT_EQ(s0.cycle, 100u);
+    EXPECT_EQ(s0.instructions, 150u);
+    EXPECT_DOUBLE_EQ(s0.ipc, 1.5);
+    EXPECT_DOUBLE_EQ(s0.l1_btb_hitrate, 0.8);
+    EXPECT_DOUBLE_EQ(s0.btb_hitrate, 0.9);
+    EXPECT_DOUBLE_EQ(s0.ftq_occupancy, 4.0);
+
+    // The second row reflects only the second interval's deltas.
+    const IntervalSample &s1 = s.samples()[1];
+    EXPECT_EQ(s1.cycle, 300u);
+    EXPECT_EQ(s1.instructions, 300u);
+    EXPECT_DOUBLE_EQ(s1.ipc, 1.5);
+    EXPECT_DOUBLE_EQ(s1.l1_btb_hitrate, 0.5);  // (18-8)/(30-10)
+    EXPECT_DOUBLE_EQ(s1.btb_hitrate, 0.8);     // (25-9)/20
+    EXPECT_DOUBLE_EQ(s1.branch_mpki, 10.0);    // 3 / 0.3 ki
+    EXPECT_DOUBLE_EQ(s1.misfetch_pki, 10.0);   // 3 / 0.3 ki
+    EXPECT_DOUBLE_EQ(s1.icache_mpki, 10.0);    // 3 / 0.3 ki
+    EXPECT_DOUBLE_EQ(s1.ftq_occupancy, 3.0);   // 600 / 200 cycles
+}
+
+TEST(Sampler, RearmSkipsStalledGap)
+{
+    // After a long gap (e.g. a drain), the next boundary is one interval
+    // past the late sample — no burst of degenerate rows.
+    Sampler s(100);
+    s.sample(snap(100, 100));
+    s.sample(snap(750, 800)); // sampled late
+    EXPECT_FALSE(s.due(849));
+    EXPECT_TRUE(s.due(850));
+    ASSERT_EQ(s.samples().size(), 2u);
+    EXPECT_EQ(s.samples()[1].cycle, 750u);
+    EXPECT_EQ(s.samples()[1].instructions, 700u);
+}
+
+TEST(Sampler, ZeroDeltaIntervalIsSafe)
+{
+    Sampler s(100);
+    s.sample(snap(100, 50));
+    s.sample(snap(100, 50)); // identical snapshot: all rates 0, no div-by-0
+    ASSERT_EQ(s.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(s.samples()[1].ipc, 0.0);
+    EXPECT_DOUBLE_EQ(s.samples()[1].l1_btb_hitrate, 0.0);
+    EXPECT_DOUBLE_EQ(s.samples()[1].branch_mpki, 0.0);
+}
+
+TEST(Sampler, TakeMovesSeries)
+{
+    Sampler s(10);
+    s.sample(snap(10, 10));
+    std::vector<IntervalSample> out = s.take();
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_TRUE(s.samples().empty());
+}

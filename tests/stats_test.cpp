@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/sat_counter.h"
 #include "common/stats.h"
 
@@ -29,11 +31,60 @@ TEST(Histogram, MeanAndOverflow)
     EXPECT_EQ(h.total(), 3u);
 }
 
+TEST(Histogram, ZeroBucketsClampsToOne)
+{
+    // Regression: Histogram(0) used to compute buckets_.size() - 1 on an
+    // empty vector (underflow) and write out of bounds.
+    Histogram h(0);
+    EXPECT_EQ(h.bucketCount(), 1u);
+    h.add(0);
+    h.add(100);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a(4), b(8);
+    a.add(1);
+    a.add(100); // clamps to bucket 3
+    b.add(6);
+    a.merge(b);
+    EXPECT_EQ(a.bucketCount(), 8u); // grew to the wider histogram
+    EXPECT_EQ(a.count(1), 1u);
+    EXPECT_EQ(a.count(3), 1u);
+    EXPECT_EQ(a.count(6), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(RunningMean, Merge)
+{
+    RunningMean a, b;
+    a.add(2.0);
+    b.add(4.0);
+    b.add(6.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.count(), 3.0);
+}
+
 TEST(Geomean, KnownValues)
 {
     EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
     EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, SkipsNonPositiveValues)
+{
+    // Regression: std::log(0) = -inf used to propagate NaN/0 into every
+    // reported table containing a single dead run.
+    EXPECT_DOUBLE_EQ(geomean({0.0, 4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({-3.0, 9.0}), 9.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({-1.0, 0.0}), 0.0);
+    EXPECT_FALSE(std::isnan(geomean({-1.0, 2.0, 8.0})));
 }
 
 TEST(VecMinMax, Basics)

@@ -1,0 +1,90 @@
+/** @file Unit tests for the bounded ring-buffer event tracer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/tracer.h"
+
+using namespace btbsim::obs;
+
+TEST(Tracer, RecordsInOrderBelowCapacity)
+{
+    Tracer t(8);
+    t.record(10, TraceEventType::kBtbMiss, 0x400, 0, 1);
+    t.record(12, TraceEventType::kBtbFill, 0x400, 0x500, 2);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.total(), 2u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.at(0).type, TraceEventType::kBtbMiss);
+    EXPECT_EQ(t.at(0).cycle, 10u);
+    EXPECT_EQ(t.at(1).type, TraceEventType::kBtbFill);
+    EXPECT_EQ(t.at(1).aux, 0x500u);
+    EXPECT_EQ(t.at(1).level, 2u);
+}
+
+TEST(Tracer, WraparoundKeepsNewestOldestFirst)
+{
+    Tracer t(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        t.record(i, TraceEventType::kFetchRedirect, 0x1000 + i);
+
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.total(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    // Retains the newest 4 (cycles 6..9), oldest first.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(t.at(i).cycle, 6 + i);
+        EXPECT_EQ(t.at(i).pc, 0x1006u + i);
+    }
+}
+
+TEST(Tracer, ClearResets)
+{
+    Tracer t(4);
+    for (int i = 0; i < 6; ++i)
+        t.record(i, TraceEventType::kFtqStall, 0);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.total(), 0u);
+    t.record(99, TraceEventType::kBranchResolve, 0x42);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.at(0).cycle, 99u);
+}
+
+TEST(Tracer, EventTypeNamesAreStable)
+{
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kFetchRedirect),
+                 "fetch_redirect");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kBtbMiss), "btb_miss");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kBtbFill), "btb_fill");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kBtbEvict), "btb_evict");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kFtqStall), "ftq_stall");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kBranchResolve),
+                 "branch_resolve");
+}
+
+TEST(Tracer, DumpJsonlEmitsOneValidObjectPerLine)
+{
+    Tracer t(4);
+    for (std::uint64_t i = 0; i < 6; ++i) // wraps: retains cycles 2..5
+        t.record(i, TraceEventType::kBtbMiss, 0x100 * i, i, 1);
+
+    std::ostringstream os;
+    t.dumpJsonl(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) {
+        const JsonValue v = parseJson(line); // each line is valid JSON
+        EXPECT_DOUBLE_EQ(v.at("cycle").asNumber(),
+                         static_cast<double>(2 + lines));
+        EXPECT_EQ(v.at("type").asString(), "btb_miss");
+        EXPECT_DOUBLE_EQ(v.at("level").asNumber(), 1.0);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 4u);
+}
