@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "obs/export.h"
+#include "traceio/replay_env.h"
 
 namespace btbsim::bench {
 
@@ -34,6 +35,14 @@ setup(const std::string &title, const std::string &paper_ref)
                 ctx.suite.size(),
                 static_cast<unsigned long long>(ctx.opt.warmup),
                 static_cast<unsigned long long>(ctx.opt.measure));
+    if (const std::string dir = traceio::replayDirFromEnv(); !dir.empty()) {
+        std::size_t recorded = 0;
+        for (const WorkloadSpec &spec : ctx.suite)
+            if (std::filesystem::exists(traceio::replayPath(dir, spec.name)))
+                ++recorded;
+        std::printf("trace replay: %s (%zu/%zu workloads recorded)\n",
+                    dir.c_str(), recorded, ctx.suite.size());
+    }
     std::printf("==============================================================\n\n");
     return ctx;
 }

@@ -5,9 +5,47 @@
 # Each sim bench also writes machine-readable results to
 # results/<bench>.json (schema documented in src/obs/export.h); inspect or
 # regression-compare them with build/src/tools/btbsim-stats.
+#
+#   --record   Capture the server suite as .btbt traces under results/btbt
+#              first (sized to the current env knobs; see btbsim-trace).
+#   --replay   Run the benches from those recordings instead of live
+#              stream generation, and report the wall clock saved against
+#              the most recent live run.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+record=0
+replay=0
+for arg in "$@"; do
+    case "$arg" in
+        --record) record=1 ;;
+        --replay) replay=1 ;;
+        *)
+            echo "usage: $0 [--record] [--replay]" >&2
+            exit 2
+            ;;
+    esac
+done
+
 mkdir -p results
+trace_dir=results/btbt
+
+if [[ $record -eq 1 ]]; then
+    echo "=== recording suite traces -> $trace_dir ==="
+    ./build/src/tools/btbsim-trace record --out "$trace_dir"
+    ./build/src/tools/btbsim-trace verify "$trace_dir"/*.btbt
+fi
+
+if [[ $replay -eq 1 ]]; then
+    if ! ls "$trace_dir"/*.btbt >/dev/null 2>&1; then
+        echo "no traces in $trace_dir; run '$0 --record' first" >&2
+        exit 2
+    fi
+    export BTBSIM_TRACE_DIR="$trace_dir"
+    echo "=== replaying traces from $trace_dir ==="
+fi
+
+SECONDS=0
 for b in build/bench/bench_*; do
     name=$(basename "$b")
     echo "=== $name ==="
@@ -15,3 +53,17 @@ for b in build/bench/bench_*; do
     # (analyzer-only) produce no result JSON; the env knob is a no-op there.
     BTBSIM_JSON_OUT="results/${name}.json" "$b" 2>&1 | tee "results/$name.txt"
 done
+elapsed=$SECONDS
+
+if [[ $replay -eq 1 ]]; then
+    if [[ -f results/.wall_live ]]; then
+        live=$(cat results/.wall_live)
+        echo "=== replay wall clock: ${elapsed}s (last live run: ${live}s," \
+             "saved $((live - elapsed))s) ==="
+    else
+        echo "=== replay wall clock: ${elapsed}s (no live baseline yet) ==="
+    fi
+else
+    echo "$elapsed" >results/.wall_live
+    echo "=== live wall clock: ${elapsed}s ==="
+fi

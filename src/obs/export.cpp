@@ -65,6 +65,8 @@ writeSimStatsJson(JsonWriter &w, const SimStats &s)
     w.beginObject();
     w.kv("seconds", s.host_seconds);
     w.kv("minst_per_sec", s.minst_per_host_sec);
+    w.kv("source", s.source_kind);
+    w.kv("source_minst_per_sec", s.source_minst_per_sec);
     w.endObject();
 
     w.key("samples");
@@ -113,7 +115,7 @@ writeRunsCsvHeader(std::ostream &os)
     os << "config,workload,instructions,cycles";
     for (const Field &f : kScalarFields)
         os << ',' << f.name;
-    os << ",host_seconds,minst_per_host_sec\n";
+    os << ",host_seconds,minst_per_host_sec,source,source_minst_per_sec\n";
 }
 
 void
@@ -125,7 +127,9 @@ writeRunCsvRow(std::ostream &os, const SimStats &s)
     os << ',' << s.instructions << ',' << s.cycles;
     for (const Field &f : kScalarFields)
         os << ',' << f.get(s);
-    os << ',' << s.host_seconds << ',' << s.minst_per_host_sec << '\n';
+    os << ',' << s.host_seconds << ',' << s.minst_per_host_sec << ',';
+    csvQuote(os, s.source_kind);
+    os << ',' << s.source_minst_per_sec << '\n';
 }
 
 void

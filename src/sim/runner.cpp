@@ -1,5 +1,6 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include "obs/export.h"
 #include "obs/tracer.h"
 #include "sim/cpu.h"
+#include "traceio/replay_env.h"
 
 namespace btbsim {
 
@@ -61,8 +63,12 @@ RunOptions::fromEnv()
 SimStats
 runOne(const CpuConfig &cfg, const WorkloadSpec &spec, const RunOptions &opt)
 {
-    auto workload = makeWorkload(spec);
-    Cpu cpu(cfg, *workload);
+    // Live-generated workload, or a recorded .btbt replay when
+    // BTBSIM_TRACE_DIR holds one. A fresh source per run keeps
+    // concurrent runMatrix workers isolated (TraceSource instances are
+    // not shareable across threads).
+    auto opened = traceio::openWorkloadSource(spec);
+    Cpu cpu(cfg, *opened.source);
 
     std::unique_ptr<obs::Tracer> tracer;
     if (obs::Tracer::enabledFromEnv()) {
@@ -80,6 +86,23 @@ runOne(const CpuConfig &cfg, const WorkloadSpec &spec, const RunOptions &opt)
         static_cast<double>(opt.warmup) + static_cast<double>(s.instructions);
     s.minst_per_host_sec =
         s.host_seconds > 0 ? total_insts / 1e6 / s.host_seconds : 0.0;
+
+    // Raw instruction-delivery throughput of the source, measured by
+    // draining it outside the timing model (capped so big runs don't
+    // pay twice). Replay should beat generate+interpret here.
+    s.source_kind = opened.replay ? "replay" : "generated";
+    const std::uint64_t drain =
+        std::min<std::uint64_t>(opt.warmup + opt.measure, 2'000'000);
+    if (drain > 0) {
+        opened.source->reset();
+        const auto d0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < drain; ++i)
+            opened.source->next();
+        const auto d1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(d1 - d0).count();
+        s.source_minst_per_sec =
+            secs > 0 ? static_cast<double>(drain) / 1e6 / secs : 0.0;
+    }
 
     if (tracer)
         dumpTrace(*tracer, s);

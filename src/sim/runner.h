@@ -36,7 +36,10 @@ SimStats runOne(const CpuConfig &cfg, const WorkloadSpec &spec,
 /**
  * Simulate a set of configurations across a set of workloads. Results are
  * ordered by (config index, workload index). Runs are spread across
- * threads; each run is deterministic in isolation.
+ * threads; each run is deterministic in isolation. Every worker opens
+ * its own TraceSource (generated or .btbt replay — see
+ * traceio/replay_env.h), never sharing instances, so results are
+ * bit-identical regardless of thread count.
  */
 std::vector<SimStats> runMatrix(const std::vector<CpuConfig> &configs,
                                 const std::vector<WorkloadSpec> &suite,

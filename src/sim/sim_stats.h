@@ -55,6 +55,13 @@ struct SimStats
     std::map<std::string, double> counters; ///< "component.stat" -> value.
     double host_seconds = 0.0;          ///< Wall time of the whole run.
     double minst_per_host_sec = 0.0;    ///< Sim speed (M instr / host s).
+
+    /// How the instruction stream was produced: "generated" (synthetic
+    /// program interpreted live) or "replay" (recorded .btbt trace).
+    std::string source_kind = "generated";
+    /// Raw instruction-delivery throughput of the source (M instr /
+    /// host s), measured by draining it outside the timing model.
+    double source_minst_per_sec = 0.0;
 };
 
 } // namespace btbsim

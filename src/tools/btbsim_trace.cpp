@@ -1,0 +1,292 @@
+/**
+ * @file
+ * btbsim-trace — record, inspect, convert and verify `.btbt` traces
+ * (format documented in traceio/format.h and DESIGN.md).
+ *
+ *   btbsim-trace record [--out DIR] [--insts N] [--chunk N]
+ *                       [--suite N] [WORKLOAD...]
+ *       Record named serverSuite() workloads (default: all of them) as
+ *       DIR/<name>.btbt. N defaults to BTBSIM_WARMUP + BTBSIM_MEASURE
+ *       plus a 64Ki-instruction frontend-slack margin, so a bench run
+ *       with the same env knobs replays without wrapping.
+ *
+ *   btbsim-trace info FILE [--insts N]
+ *       Print the header, per-chunk integrity, and the branch-mix
+ *       summary of the first N (default 1M) instructions.
+ *
+ *   btbsim-trace convert IN OUT [--name NAME] [--max N]
+ *       Convert a raw ChampSim input_instr trace into OUT (.btbt).
+ *
+ *   btbsim-trace verify FILE...
+ *       Full integrity walk: header, Program image, every chunk CRC
+ *       and a complete decode.
+ *
+ * Exit codes: 0 ok, 1 verification failure, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/analyzer.h"
+#include "trace/suite.h"
+#include "traceio/champsim.h"
+#include "traceio/trace_reader.h"
+#include "traceio/trace_writer.h"
+#include "sim/runner.h"
+
+namespace {
+
+using namespace btbsim;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btbsim-trace record [--out DIR] [--insts N] [--chunk N]\n"
+        "                           [--suite N] [WORKLOAD...]\n"
+        "       btbsim-trace info FILE [--insts N]\n"
+        "       btbsim-trace convert IN OUT [--name NAME] [--max N]\n"
+        "       btbsim-trace verify FILE...\n");
+    return 2;
+}
+
+/** Parse "--flag VALUE" style options out of @p args into @p out. */
+bool
+takeOption(std::vector<std::string> &args, const std::string &flag,
+           std::string &out)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            out = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+toU64(const std::string &s, std::uint64_t fallback)
+{
+    if (s.empty())
+        return fallback;
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+int
+cmdRecord(std::vector<std::string> args)
+{
+    std::string out_dir = "results/traces";
+    std::string insts_s, chunk_s, suite_s;
+    takeOption(args, "--out", out_dir);
+    takeOption(args, "--insts", insts_s);
+    takeOption(args, "--chunk", chunk_s);
+    takeOption(args, "--suite", suite_s);
+
+    const RunOptions ropt = RunOptions::fromEnv();
+    // Default margin covers the frontend running ahead of commit, so a
+    // (warmup, measure) run with the same env never hits the wrap seam.
+    const std::uint64_t insts =
+        toU64(insts_s, ropt.warmup + ropt.measure + (64 << 10));
+    traceio::TraceWriter::Options wopt;
+    wopt.chunk_insts = static_cast<std::uint32_t>(
+        toU64(chunk_s, traceio::kDefaultChunkInsts));
+
+    const std::size_t suite_size =
+        suite_s.empty() ? ropt.traces
+                        : static_cast<std::size_t>(toU64(suite_s, 8));
+    const std::vector<WorkloadSpec> suite = serverSuite(suite_size);
+
+    std::vector<WorkloadSpec> selected;
+    if (args.empty()) {
+        selected = suite;
+    } else {
+        for (const std::string &want : args) {
+            bool found = false;
+            for (const WorkloadSpec &spec : suite)
+                if (spec.name == want) {
+                    selected.push_back(spec);
+                    found = true;
+                }
+            if (!found) {
+                std::fprintf(stderr,
+                             "btbsim-trace: unknown workload '%s' (suite of "
+                             "%zu: ",
+                             want.c_str(), suite.size());
+                for (const WorkloadSpec &spec : suite)
+                    std::fprintf(stderr, "%s ", spec.name.c_str());
+                std::fprintf(stderr, ")\n");
+                return 2;
+            }
+        }
+    }
+
+    for (const WorkloadSpec &spec : selected) {
+        const std::string path = out_dir + "/" + spec.name +
+                                 traceio::kTraceExt;
+        std::printf("recording %-10s -> %s (%llu insts)...", spec.name.c_str(),
+                    path.c_str(), static_cast<unsigned long long>(insts));
+        std::fflush(stdout);
+        const auto t0 = std::chrono::steady_clock::now();
+
+        auto workload = makeWorkload(spec);
+        traceio::TraceWriter writer(path, spec.name, &workload->program(),
+                                    wopt);
+        traceio::RecordingSource rec(*workload, writer);
+        for (std::uint64_t i = 0; i < insts; ++i)
+            rec.next();
+        writer.finish();
+
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        std::printf(" done (%.1f Mi/s)\n",
+                    secs > 0 ? static_cast<double>(insts) / 1e6 / secs : 0.0);
+    }
+    return 0;
+}
+
+int
+cmdInfo(std::vector<std::string> args)
+{
+    std::string insts_s;
+    takeOption(args, "--insts", insts_s);
+    if (args.size() != 1)
+        return usage();
+    const std::string &path = args[0];
+
+    const traceio::TraceFileInfo info = traceio::inspectTrace(path, true);
+    std::printf("%s\n", path.c_str());
+    std::printf("  format version    %u\n", info.header.version);
+    std::printf("  stream name       %s\n", info.header.name.c_str());
+    std::printf("  instructions      %llu\n",
+                static_cast<unsigned long long>(info.header.inst_count));
+    std::printf("  chunks            %u (target %u insts each)\n",
+                info.header.chunk_count, info.header.chunk_target);
+    std::printf("  file size         %.2f MiB (%.2f bytes/inst)\n",
+                static_cast<double>(info.file_bytes) / (1 << 20),
+                info.header.inst_count
+                    ? static_cast<double>(info.file_bytes) /
+                          static_cast<double>(info.header.inst_count)
+                    : 0.0);
+    std::printf("  program image     %s (%llu bytes, CRC %s)\n",
+                info.header.hasProgram() ? "yes" : "no",
+                static_cast<unsigned long long>(info.header.program_bytes),
+                info.header.hasProgram()
+                    ? (info.program_crc_ok ? "ok" : "MISMATCH")
+                    : "-");
+    std::size_t bad = 0;
+    for (const traceio::ChunkInfo &c : info.chunks)
+        if (!c.crc_ok)
+            ++bad;
+    std::printf("  chunk integrity   %zu/%zu ok\n", info.chunks.size() - bad,
+                info.chunks.size());
+
+    traceio::TraceReplaySource src(path);
+    const std::uint64_t window = std::min<std::uint64_t>(
+        info.header.inst_count, toU64(insts_s, 1'000'000));
+    const TraceProperties p = analyzeTrace(src, window);
+    std::printf("  branch mix over the first %llu instructions:\n",
+                static_cast<unsigned long long>(window));
+    std::printf("    branches          %llu (avg BB %.2f, taken dist %.2f)\n",
+                static_cast<unsigned long long>(p.branches), p.avg_bb_size,
+                p.avg_taken_distance);
+    std::printf("    never-taken cond  %5.1f%%\n",
+                100 * p.frac_never_taken_cond);
+    std::printf("    always-taken cond %5.1f%%\n",
+                100 * p.frac_always_taken_cond);
+    std::printf("    mixed cond        %5.1f%%\n", 100 * p.frac_mixed_cond);
+    std::printf("    calls / returns   %5.1f%% / %.1f%%\n",
+                100 * p.frac_calls, 100 * p.frac_returns);
+    std::printf("    uncond direct     %5.1f%%\n",
+                100 * p.frac_uncond_direct);
+    std::printf("    static sites      %llu (%llu taken)\n",
+                static_cast<unsigned long long>(p.static_branch_sites),
+                static_cast<unsigned long long>(p.static_taken_sites));
+    return bad == 0 && info.program_crc_ok ? 0 : 1;
+}
+
+int
+cmdConvert(std::vector<std::string> args)
+{
+    std::string name, max_s;
+    takeOption(args, "--name", name);
+    takeOption(args, "--max", max_s);
+    if (args.size() != 2)
+        return usage();
+    const std::string &in = args[0];
+    const std::string &out = args[1];
+    if (name.empty()) {
+        // Default stream name: input basename without extension.
+        std::string base = in;
+        if (const auto slash = base.find_last_of('/');
+            slash != std::string::npos)
+            base = base.substr(slash + 1);
+        if (const auto dot = base.find('.'); dot != std::string::npos)
+            base = base.substr(0, dot);
+        name = base.empty() ? "champsim" : base;
+    }
+
+    const traceio::ConvertStats cs =
+        traceio::convertChampSim(in, out, name, toU64(max_s, 0));
+    std::printf("converted %s -> %s\n", in.c_str(), out.c_str());
+    std::printf("  %llu instructions, %llu branches (%llu taken), "
+                "%llu loads, %llu stores\n",
+                static_cast<unsigned long long>(cs.records),
+                static_cast<unsigned long long>(cs.branches),
+                static_cast<unsigned long long>(cs.taken_branches),
+                static_cast<unsigned long long>(cs.loads),
+                static_cast<unsigned long long>(cs.stores));
+    return 0;
+}
+
+int
+cmdVerify(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    int rc = 0;
+    for (const std::string &path : args) {
+        const std::vector<std::string> problems = traceio::verifyTrace(path);
+        if (problems.empty()) {
+            std::printf("%s: ok\n", path.c_str());
+        } else {
+            rc = 1;
+            for (const std::string &p : problems)
+                std::printf("%s: FAIL: %s\n", path.c_str(), p.c_str());
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    try {
+        if (cmd == "record")
+            return cmdRecord(std::move(args));
+        if (cmd == "info")
+            return cmdInfo(std::move(args));
+        if (cmd == "convert")
+            return cmdConvert(std::move(args));
+        if (cmd == "verify")
+            return cmdVerify(args);
+    } catch (const traceio::TraceError &e) {
+        std::fprintf(stderr, "btbsim-trace: %s\n", e.what());
+        return 2;
+    }
+    return usage();
+}

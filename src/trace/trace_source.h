@@ -18,6 +18,13 @@ struct Program;
  * An infinite, restartable stream of dynamic instructions. The simulator
  * pulls instructions one at a time; a source must be deterministic so the
  * same (source, config) pair reproduces identical results.
+ *
+ * Thread-ownership contract: a TraceSource belongs to exactly one
+ * consumer. next()/reset() mutate cursor state without locking, so
+ * concurrent simulations (runMatrix workers) must each construct their
+ * own instance rather than share one — implementations are required to
+ * be independently instantiable and deterministic per instance, which
+ * makes lock-free parallel replay safe by construction.
  */
 class TraceSource
 {

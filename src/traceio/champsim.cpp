@@ -1,0 +1,171 @@
+#include "traceio/champsim.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "traceio/trace_writer.h"
+
+namespace btbsim::traceio {
+
+namespace {
+
+bool
+hasReg(const std::uint8_t *regs, std::size_t n, std::uint8_t r)
+{
+    return std::find(regs, regs + n, r) != regs + n;
+}
+
+bool
+hasOtherReg(const std::uint8_t *regs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (regs[i] != 0 && regs[i] != kChampSimRegSp &&
+            regs[i] != kChampSimRegFlags && regs[i] != kChampSimRegIp)
+            return true;
+    return false;
+}
+
+/** First nonzero address in @p mem, 0 when none. */
+std::uint64_t
+firstMem(const std::uint64_t *mem, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (mem[i] != 0)
+            return mem[i];
+    return 0;
+}
+
+/** First register that is not one of ChampSim's special x86 registers. */
+std::uint8_t
+firstGeneralReg(const std::uint8_t *regs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (regs[i] != 0 && regs[i] != kChampSimRegSp &&
+            regs[i] != kChampSimRegFlags && regs[i] != kChampSimRegIp)
+            return regs[i];
+    return 0;
+}
+
+/** ChampSim tracereader's register-pattern branch classification. */
+BranchClass
+classifyBranch(const ChampSimRecord &rec)
+{
+    const auto *src = rec.source_registers;
+    const auto *dst = rec.destination_registers;
+    const bool reads_sp = hasReg(src, 4, kChampSimRegSp);
+    const bool writes_sp = hasReg(dst, 2, kChampSimRegSp);
+    const bool reads_flags = hasReg(src, 4, kChampSimRegFlags);
+    const bool reads_ip = hasReg(src, 4, kChampSimRegIp);
+    const bool writes_ip = hasReg(dst, 2, kChampSimRegIp);
+    const bool reads_other = hasOtherReg(src, 4);
+
+    if (!reads_sp && !reads_flags && writes_ip && !reads_other)
+        return BranchClass::kUncondDirect;
+    if (!reads_sp && !reads_flags && writes_ip && reads_other)
+        return BranchClass::kIndirectJump;
+    if (!reads_sp && reads_flags && writes_ip && !reads_other)
+        return BranchClass::kCondDirect;
+    // Calls read IP (to push the return address); returns do not —
+    // without the reads_ip test every return would match the call rules.
+    if (reads_sp && reads_ip && !reads_flags && writes_sp && writes_ip &&
+        !reads_other)
+        return BranchClass::kDirectCall;
+    if (reads_sp && reads_ip && !reads_flags && writes_sp && writes_ip &&
+        reads_other)
+        return BranchClass::kIndirectCall;
+    if (reads_sp && !reads_ip && writes_sp && writes_ip)
+        return BranchClass::kReturn;
+    // "BRANCH_OTHER": treat as an indirect jump — resolved from the
+    // recorded target, never decodeable.
+    return BranchClass::kIndirectJump;
+}
+
+} // namespace
+
+Instruction
+champsimToInstruction(const ChampSimRecord &rec, std::uint64_t next_ip)
+{
+    Instruction in;
+    in.pc = rec.ip;
+    in.next_pc = next_ip;
+
+    const std::uint64_t load_addr = firstMem(rec.source_memory, 4);
+    const std::uint64_t store_addr = firstMem(rec.destination_memory, 2);
+
+    if (rec.is_branch) {
+        in.branch = classifyBranch(rec);
+        in.cls = InstClass::kBranch;
+        // Unconditional branches are architecturally always taken even
+        // when the tracer left branch_taken unset.
+        in.taken = rec.branch_taken != 0 || isAlwaysTaken(in.branch);
+        in.mem_addr = 0;
+    } else if (store_addr != 0) {
+        in.cls = InstClass::kStore;
+        in.mem_addr = store_addr;
+    } else if (load_addr != 0) {
+        in.cls = InstClass::kLoad;
+        in.mem_addr = load_addr;
+    } else {
+        in.cls = InstClass::kAlu;
+    }
+
+    in.dst = firstGeneralReg(rec.destination_registers, 2);
+    in.src1 = rec.source_registers[0];
+    in.src2 = rec.source_registers[1];
+    return in;
+}
+
+ConvertStats
+convertChampSim(const std::string &in_path, const std::string &out_path,
+                const std::string &stream_name, std::uint64_t max_insts)
+{
+    std::ifstream is(in_path, std::ios::binary);
+    if (!is)
+        throw TraceError("cannot open ChampSim trace " + in_path);
+
+    TraceWriter writer(out_path, stream_name, nullptr);
+    ConvertStats cs;
+
+    // One-record lookahead: a record's next_pc is the following ip.
+    ChampSimRecord cur{};
+    ChampSimRecord nxt{};
+    if (!is.read(reinterpret_cast<char *>(&cur), sizeof(cur)))
+        throw TraceError(in_path + ": empty or unreadable ChampSim trace (" +
+                         "expected raw 64-byte input_instr records; "
+                         "decompress .gz/.xz traces first)");
+
+    auto emit = [&](const ChampSimRecord &rec, std::uint64_t next_ip) {
+        const Instruction in = champsimToInstruction(rec, next_ip);
+        writer.append(in);
+        ++cs.records;
+        if (in.isBranch()) {
+            ++cs.branches;
+            if (in.taken)
+                ++cs.taken_branches;
+        }
+        if (in.isLoad())
+            ++cs.loads;
+        if (in.isStore())
+            ++cs.stores;
+    };
+
+    while (is.read(reinterpret_cast<char *>(&nxt), sizeof(nxt))) {
+        emit(cur, nxt.ip);
+        cur = nxt;
+        if (max_insts != 0 && cs.records >= max_insts) {
+            writer.finish();
+            return cs;
+        }
+    }
+    if (is.gcount() != 0)
+        throw TraceError(in_path + ": trailing partial record (file size is "
+                         "not a multiple of 64 bytes)");
+    // Last record: no successor, assume sequential fall-through.
+    emit(cur, cur.ip + kInstBytes);
+    writer.finish();
+    return cs;
+}
+
+} // namespace btbsim::traceio

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ChampSim trace importer: converts raw ChampSim/CVP-style
+ * `input_instr` records into the `.btbt` format.
+ *
+ * ChampSim traces are streams of fixed 64-byte records (the
+ * `input_instr` struct ChampSim's tracer fwrites). The importer applies
+ * the same register heuristics ChampSim's tracereader uses (x86 stack
+ * pointer = 6, flags = 25, instruction pointer = 26) to classify each
+ * branch, and stitches each record's next_pc from the following
+ * record's instruction pointer — exactly the ground truth a
+ * trace-driven frontend needs.
+ *
+ * Compressed traces (.gz/.xz, as distributed) must be decompressed
+ * before conversion; the importer reads raw records only.
+ */
+
+#ifndef BTBSIM_TRACEIO_CHAMPSIM_H
+#define BTBSIM_TRACEIO_CHAMPSIM_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/instruction.h"
+
+namespace btbsim::traceio {
+
+/** ChampSim's on-disk `input_instr` record (x86, 64 bytes). */
+struct ChampSimRecord
+{
+    std::uint64_t ip;
+    std::uint8_t is_branch;
+    std::uint8_t branch_taken;
+    std::uint8_t destination_registers[2];
+    std::uint8_t source_registers[4];
+    std::uint64_t destination_memory[2];
+    std::uint64_t source_memory[4];
+};
+static_assert(sizeof(ChampSimRecord) == 64,
+              "ChampSimRecord must match ChampSim's 64-byte input_instr");
+
+/** ChampSim x86 register numbers the branch heuristics key on. */
+inline constexpr std::uint8_t kChampSimRegSp = 6;
+inline constexpr std::uint8_t kChampSimRegFlags = 25;
+inline constexpr std::uint8_t kChampSimRegIp = 26;
+
+/**
+ * Map one ChampSim record onto our abstract ISA. @p next_ip is the
+ * following record's instruction pointer (the record's ground-truth
+ * next_pc).
+ */
+Instruction champsimToInstruction(const ChampSimRecord &rec,
+                                  std::uint64_t next_ip);
+
+/** Summary of one conversion. */
+struct ConvertStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken_branches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+/**
+ * Convert the raw ChampSim trace at @p in_path into a `.btbt` file at
+ * @p out_path named @p stream_name (no Program image — decode-based
+ * prefill is disabled for imported traces). @p max_insts limits the
+ * conversion when nonzero. Throws TraceError on I/O problems, an
+ * empty input, or a size that is not a multiple of 64 bytes.
+ */
+ConvertStats convertChampSim(const std::string &in_path,
+                             const std::string &out_path,
+                             const std::string &stream_name,
+                             std::uint64_t max_insts = 0);
+
+} // namespace btbsim::traceio
+
+#endif // BTBSIM_TRACEIO_CHAMPSIM_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Reading `.btbt` traces: the mmap-backed TraceReplaySource plus the
+ * inspection/verification helpers behind `btbsim-trace info|verify`.
+ */
+
+#ifndef BTBSIM_TRACEIO_TRACE_READER_H
+#define BTBSIM_TRACEIO_TRACE_READER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/program.h"
+#include "trace/trace_source.h"
+#include "traceio/format.h"
+
+namespace btbsim::traceio {
+
+/** Read-only view of a whole file: mmap when possible, an owned buffer
+ *  otherwise. Unmaps/frees on destruction. */
+class MappedFile
+{
+  public:
+    /** Throws TraceError when the file cannot be opened or read. */
+    MappedFile(const std::string &path, bool try_mmap);
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool mapped() const { return mapped_; }
+
+  private:
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<std::uint8_t> owned_;
+};
+
+/**
+ * Replays a recorded `.btbt` file as a TraceSource.
+ *
+ * The file is mmapped (falling back to a buffered read) and decoded one
+ * chunk at a time. Traces whose decoded form fits the cache budget
+ * (cache_budget_bytes, default BTBSIM_REPLAY_CACHE_MB or 256 MB) are
+ * decoded at most once per chunk and delivered straight from the cached
+ * buffers afterwards — wraps and resets cost nothing but a pointer
+ * move, which is what makes replay delivery much faster than live
+ * generation. Larger traces stream through a double buffer instead;
+ * with background decode enabled a worker thread keeps the next chunk
+ * ready while the simulator consumes the current one. Delivery is
+ * deterministic in every mode.
+ *
+ * When the consumer outruns the recording the stream wraps to the first
+ * chunk; if the recorded tail does not already jump to the recorded
+ * head, the seam instruction is rewritten as a taken unconditional
+ * direct branch so the stream stays control-flow consistent (see
+ * pcgen's cursor assertion). Runs that must be bit-identical to the
+ * live source therefore need a recording at least as long as the
+ * instructions they consume.
+ *
+ * Instances are self-contained (own mapping, buffers and worker), so
+ * concurrent runMatrix workers must each construct their own — sharing
+ * one instance across threads is a data race by design (next() mutates
+ * cursor state; no lock serializes callers).
+ */
+class TraceReplaySource : public TraceSource
+{
+  public:
+    struct Options
+    {
+        bool use_mmap = true;
+        bool background_decode = true;
+        /** Decoded-chunk cache limit in bytes; 0 forces streaming. */
+        std::uint64_t cache_budget_bytes = 256ull << 20;
+
+        /** BTBSIM_REPLAY_MMAP=0 / BTBSIM_REPLAY_ASYNC=0 disable the
+         *  respective fast path; BTBSIM_REPLAY_CACHE_MB resizes the
+         *  decoded-chunk cache. */
+        static Options fromEnv();
+    };
+
+    /** Opens and validates @p path; throws TraceError on any problem. */
+    explicit TraceReplaySource(const std::string &path,
+                               Options opt = Options::fromEnv());
+    ~TraceReplaySource() override;
+
+    const Instruction &next() override;
+    void reset() override;
+    std::string name() const override { return header_.name; }
+    const Program *codeImage() const override
+    {
+        return program_ ? program_.get() : nullptr;
+    }
+
+    const TraceHeader &header() const { return header_; }
+    std::uint64_t instructionCount() const { return header_.inst_count; }
+    /** Times the stream wrapped back to the first chunk. */
+    std::uint64_t wraps() const { return wraps_; }
+
+  private:
+    struct Chunk
+    {
+        std::uint64_t payload_offset = 0;
+        std::uint32_t records = 0;
+        std::uint32_t payload_bytes = 0;
+        std::uint32_t crc = 0;
+    };
+
+    std::string path_;
+    MappedFile map_;
+    TraceHeader header_;
+    std::vector<Chunk> chunks_;
+    std::unique_ptr<Program> program_;
+    /// The mapping is immutable, so each chunk's CRC is verified only
+    /// on its first decode (wraps and resets then skip the scan).
+    std::unique_ptr<std::atomic<bool>[]> crc_checked_;
+
+    // Consumer-side cursor. cur_ points at the buffer being delivered:
+    // a cache_ slot in cached mode, stream_buf_ in streaming mode.
+    std::vector<Instruction> *cur_ = nullptr;
+    std::size_t pos_ = 0;
+    std::size_t cur_chunk_ = 0; ///< Chunk index cur_ holds.
+    Addr first_pc_ = 0;
+    bool first_pc_set_ = false;
+    std::uint64_t wraps_ = 0;
+
+    // Decode-once cache (cached mode).
+    bool cached_mode_ = false;
+    std::vector<std::vector<Instruction>> cache_;
+    std::vector<bool> cache_valid_;
+
+    // Streaming double buffer (oversized traces).
+    std::vector<Instruction> stream_buf_;
+
+    // Background decode (double buffering).
+    bool async_ = false;
+    std::thread worker_;
+    std::mutex m_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::uint64_t gen_ = 0;       ///< Bumped by reset() to void stale work.
+    std::size_t want_chunk_ = 0;  ///< Chunk the worker should decode.
+    bool has_work_ = false;
+    std::vector<Instruction> back_;
+    bool back_ready_ = false;
+    std::string error_;
+    bool stop_ = false;
+
+    void decodeChunk(std::size_t idx, std::vector<Instruction> &out) const;
+    std::vector<Instruction> &chunkBuffer(std::size_t idx);
+    void installFront(std::size_t idx);
+    void requestDecode(std::size_t idx);
+    void advance();
+    void workerLoop();
+};
+
+/** Integrity record of one chunk, as reported by inspectTrace(). */
+struct ChunkInfo
+{
+    std::uint64_t offset = 0; ///< File offset of the chunk header.
+    std::uint32_t records = 0;
+    std::uint32_t payload_bytes = 0;
+    bool crc_ok = true;
+};
+
+/** Everything `btbsim-trace info` prints about a file. */
+struct TraceFileInfo
+{
+    TraceHeader header;
+    std::uint64_t file_bytes = 0;
+    bool program_crc_ok = true;
+    std::vector<ChunkInfo> chunks;
+};
+
+/**
+ * Walk the container structure of @p path; with @p check_crc also
+ * verify the Program image and every chunk payload CRC. Structural
+ * damage (bad magic, truncation, bad chunk framing) throws TraceError;
+ * CRC mismatches are reported per chunk instead.
+ */
+TraceFileInfo inspectTrace(const std::string &path, bool check_crc);
+
+/**
+ * Full verification: container walk, all CRCs, and a complete decode
+ * of every chunk. Returns a human-readable problem list (empty = ok);
+ * never throws for file-content problems.
+ */
+std::vector<std::string> verifyTrace(const std::string &path);
+
+} // namespace btbsim::traceio
+
+#endif // BTBSIM_TRACEIO_TRACE_READER_H

@@ -1,0 +1,133 @@
+#include "traceio/trace_writer.h"
+
+#include <filesystem>
+
+#include "trace/program.h"
+
+namespace btbsim::traceio {
+
+namespace {
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v));
+        v >>= 8;
+    }
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+    putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &stream_name,
+                         const Program *program, Options opt)
+    : path_(path), chunk_insts_(opt.chunk_insts ? opt.chunk_insts : 1)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    os_.open(path, std::ios::binary | std::ios::trunc);
+    if (!os_)
+        throw TraceError("cannot create trace file " + path);
+
+    std::vector<std::uint8_t> program_blob;
+    if (program)
+        serializeProgram(*program, program_blob);
+
+    std::vector<std::uint8_t> header;
+    header.reserve(kHeaderBytes + stream_name.size() + program_blob.size());
+    header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+    putU32(header, kFormatVersion);
+    putU32(header, kHeaderBytes);
+    putU64(header, 0); // Instruction count, patched by finish().
+    putU32(header, 0); // Chunk count, patched by finish().
+    putU32(header, chunk_insts_);
+    putU32(header, program ? kFlagHasProgram : 0);
+    putU32(header, static_cast<std::uint32_t>(stream_name.size()));
+    putU64(header, program_blob.size());
+    putU32(header,
+           program_blob.empty()
+               ? 0
+               : crc32(program_blob.data(), program_blob.size()));
+    while (header.size() < kHeaderBytes)
+        header.push_back(0);
+
+    header.insert(header.end(), stream_name.begin(), stream_name.end());
+    header.insert(header.end(), program_blob.begin(), program_blob.end());
+    os_.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    if (!os_)
+        throw TraceError("I/O error writing trace header to " + path);
+}
+
+TraceWriter::~TraceWriter()
+{
+    try {
+        finish();
+    } catch (const TraceError &) {
+        // Destructors must not throw; an explicit finish() reports errors.
+    }
+}
+
+void
+TraceWriter::append(const Instruction &in)
+{
+    encodeRecord(payload_, codec_, in);
+    ++chunk_records_;
+    ++inst_count_;
+    if (chunk_records_ >= chunk_insts_)
+        flushChunk();
+}
+
+void
+TraceWriter::flushChunk()
+{
+    if (chunk_records_ == 0)
+        return;
+    std::vector<std::uint8_t> head;
+    putU32(head, kChunkMagic);
+    putU32(head, chunk_records_);
+    putU32(head, static_cast<std::uint32_t>(payload_.size()));
+    putU32(head, crc32(payload_.data(), payload_.size()));
+    os_.write(reinterpret_cast<const char *>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+    os_.write(reinterpret_cast<const char *>(payload_.data()),
+              static_cast<std::streamsize>(payload_.size()));
+    if (!os_)
+        throw TraceError("I/O error writing trace chunk to " + path_);
+    payload_.clear();
+    codec_ = CodecState{};
+    chunk_records_ = 0;
+    ++chunk_count_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    flushChunk();
+
+    std::vector<std::uint8_t> patch;
+    putU64(patch, inst_count_);
+    putU32(patch, chunk_count_);
+    os_.seekp(16); // Offset of the instruction-count field.
+    os_.write(reinterpret_cast<const char *>(patch.data()),
+              static_cast<std::streamsize>(patch.size()));
+    os_.close();
+    finished_ = true;
+    if (os_.fail())
+        throw TraceError("I/O error finishing trace file " + path_);
+}
+
+} // namespace btbsim::traceio

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "sim/runner.h"
+#include "traceio/replay_env.h"
+#include "traceio/trace_writer.h"
 
 using namespace btbsim;
 
@@ -58,6 +61,58 @@ TEST(Runner, MatrixOrderingAndDeterminism)
     // Thread scheduling must not affect results.
     EXPECT_EQ(r1[0].cycles, r2[0].cycles);
     EXPECT_EQ(r1[1].cycles, r2[1].cycles);
+}
+
+TEST(Runner, ReplayAcrossThreadsIsBitIdentical)
+{
+    // One .btbt recording, replayed concurrently by several runMatrix
+    // workers: every worker opens its own TraceReplaySource, so thread
+    // count must not change a single bit of the results.
+    RunOptions opt;
+    opt.warmup = 40'000;
+    opt.measure = 80'000;
+
+    WorkloadSpec spec;
+    spec.name = "rt-replay";
+    spec.params.seed = 0x51;
+    spec.params.target_static_insts = 24 * 1024;
+    spec.params.num_handlers = 4;
+
+    const std::string dir = ::testing::TempDir() + "btbt_runner";
+    std::filesystem::create_directories(dir);
+    {
+        auto wl = makeWorkload(spec);
+        traceio::TraceWriter writer(traceio::replayPath(dir, spec.name),
+                                    spec.name, &wl->program());
+        traceio::RecordingSource rec(*wl, writer);
+        const std::uint64_t insts = opt.warmup + opt.measure + (64u << 10);
+        for (std::uint64_t i = 0; i < insts; ++i)
+            rec.next();
+        writer.finish();
+    }
+
+    std::vector<CpuConfig> configs(2);
+    configs[0].btb = BtbConfig::ibtb(16);
+    configs[1].btb = BtbConfig::bbtb(1, true);
+
+    setenv("BTBSIM_TRACE_DIR", dir.c_str(), 1);
+    opt.threads = 2;
+    const auto mt = runMatrix(configs, {spec}, opt);
+    opt.threads = 1;
+    const auto st = runMatrix(configs, {spec}, opt);
+    unsetenv("BTBSIM_TRACE_DIR");
+
+    ASSERT_EQ(mt.size(), 2u);
+    ASSERT_EQ(st.size(), 2u);
+    for (std::size_t i = 0; i < mt.size(); ++i) {
+        EXPECT_EQ(mt[i].source_kind, "replay") << i;
+        EXPECT_EQ(st[i].source_kind, "replay") << i;
+        EXPECT_EQ(mt[i].cycles, st[i].cycles) << i;
+        EXPECT_EQ(mt[i].instructions, st[i].instructions) << i;
+        EXPECT_EQ(mt[i].ipc, st[i].ipc) << i;
+        EXPECT_EQ(mt[i].counters, st[i].counters) << i;
+    }
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Runner, RunOneFillsHeadlineStats)
