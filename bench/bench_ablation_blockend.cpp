@@ -49,5 +49,5 @@ main()
         "performance the paper attributes to the Yeh/Patt definition "
         "shows mostly at one branch slot, where it overlaps with what "
         "splitting already provides.");
-    return 0;
+    return bench::finish();
 }

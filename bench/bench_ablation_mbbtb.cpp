@@ -55,5 +55,5 @@ main()
         "the last slot to pull increases redundancy (two call sites of "
         "one function stop sharing its block entry), which the paper "
         "found to cost slightly more than the extra chaining gains.");
-    return 0;
+    return bench::finish();
 }

@@ -1,12 +1,12 @@
 #include "bench_common.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "common/env.h"
+#include "exp/experiment.h"
 #include "obs/export.h"
 #include "traceio/replay_env.h"
 
@@ -16,6 +16,13 @@ namespace {
 
 /// Slug of the running bench's title, for default output file names.
 std::string g_bench_slug = "bench";
+
+/// Experiment metrics of the last runAll (embedded in the result JSON).
+std::map<std::string, double> g_exp_counters;
+bool g_have_experiment = false;
+
+/// Failed (config, workload) labels + errors, for finish().
+std::vector<std::string> g_failures;
 
 } // namespace
 
@@ -67,20 +74,83 @@ realIbtb16()
 ResultSet
 runAll(const Context &ctx, const std::vector<CpuConfig> &configs)
 {
-    ResultSet rs;
-    for (const CpuConfig &cfg : configs) {
-        std::printf("  running %-28s", cfg.btb.name().c_str());
-        std::fflush(stdout);
-        for (const WorkloadSpec &spec : ctx.suite) {
-            rs.add(runOne(cfg, spec, ctx.opt));
-            std::printf(".");
-            std::fflush(stdout);
+    exp::ExperimentOptions opt = exp::ExperimentOptions::fromEnv();
+    opt.run = ctx.opt;
+
+    // Compact live progress: one char per completed point.
+    const std::size_t total = configs.size() * ctx.suite.size();
+    std::size_t done = 0;
+    opt.on_point = [&](const exp::PointResult &p) {
+        char c = '.';
+        switch (p.status) {
+          case exp::PointStatus::kCached:
+            c = 'c';
+            break;
+          case exp::PointStatus::kFailed:
+            c = 'F';
+            break;
+          case exp::PointStatus::kSkipped:
+            c = 's';
+            break;
+          default:
+            break;
         }
-        const double gm = geomeanIpc(rs.all(), cfg.btb.name());
-        std::printf(" geomean IPC %.3f\n", gm);
-    }
+        std::printf("%c", c);
+        if (++done % 64 == 0 || done == total)
+            std::printf(" [%zu/%zu]\n", done, total);
+        std::fflush(stdout);
+    };
+
+    std::printf("  sweep: %zu configs x %zu workloads = %zu points%s\n",
+                configs.size(), ctx.suite.size(), total,
+                opt.cache_dir.empty()
+                    ? " (run cache off)"
+                    : (" (cache: " + opt.cache_dir +
+                       (opt.resume ? ", resuming" : "") + ")")
+                          .c_str());
+    const exp::ExperimentResult res =
+        exp::runExperiment(g_bench_slug, configs, ctx.suite, std::move(opt));
+
+    ResultSet rs;
+    for (const SimStats &s : res.stats())
+        rs.add(s);
+
+    // Per-config geomeans, as the serial runner used to print.
     std::printf("\n");
+    for (const CpuConfig &cfg : configs)
+        std::printf("  %-28s geomean IPC %.3f\n", cfg.btb.name().c_str(),
+                    geomeanIpc(rs.all(), cfg.btb.name()));
+
+    const exp::ExperimentSummary &sum = res.summary;
+    std::printf("  experiment: %zu points — %zu simulated, %zu cached "
+                "(%.1f%% hits), %zu failed, %zu skipped, %zu retries, "
+                "%.2fs\n\n",
+                sum.total, sum.ok, sum.cached, sum.cacheHitRate() * 100.0,
+                sum.failed, sum.skipped, sum.retries, sum.wall_seconds);
+
+    g_exp_counters = res.counters();
+    g_have_experiment = true;
+    for (const exp::PointResult *p : res.failures()) {
+        const std::string label =
+            "(" + p->config + ", " + p->workload + "): " + p->error;
+        g_failures.push_back(label);
+        std::fprintf(stderr, "btbsim: sweep point FAILED after %u attempts "
+                             "%s\n",
+                     p->attempts, label.c_str());
+    }
     return rs;
+}
+
+int
+finish()
+{
+    if (g_failures.empty())
+        return 0;
+    std::fprintf(stderr, "btbsim: %zu sweep point(s) failed:\n",
+                 g_failures.size());
+    for (const std::string &f : g_failures)
+        std::fprintf(stderr, "  %s\n", f.c_str());
+    return 1;
 }
 
 bool
@@ -94,26 +164,10 @@ writeJsonTo(const ResultSet &results, const std::string &bench_name,
     std::ofstream os(p);
     if (!os)
         return false;
-    results.writeJson(os, bench_name, baseline);
+    results.writeJson(os, bench_name, baseline,
+                      g_have_experiment ? &g_exp_counters : nullptr);
     return static_cast<bool>(os);
 }
-
-namespace {
-
-/** Resolve an output env knob: "1"/"true" means the default path,
- *  anything else is taken as the path itself; empty/"0" disables. */
-std::string
-outPathFromEnv(const char *env, const std::string &default_path)
-{
-    const char *v = std::getenv(env);
-    if (!v || !*v || std::strcmp(v, "0") == 0)
-        return {};
-    if (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0)
-        return default_path;
-    return v;
-}
-
-} // namespace
 
 void
 printFigure(const ResultSet &results, const std::string &baseline)
@@ -129,8 +183,8 @@ printFigure(const ResultSet &results, const std::string &baseline)
 void
 exportResults(const ResultSet &results, const std::string &baseline)
 {
-    const std::string json_path =
-        outPathFromEnv("BTBSIM_JSON_OUT", "results/" + g_bench_slug + ".json");
+    const std::string json_path = env::outPath(
+        "BTBSIM_JSON_OUT", "results/" + g_bench_slug + ".json");
     if (!json_path.empty()) {
         if (writeJsonTo(results, g_bench_slug, baseline, json_path))
             std::printf("wrote %s\n\n", json_path.c_str());
@@ -139,8 +193,8 @@ exportResults(const ResultSet &results, const std::string &baseline)
                          json_path.c_str());
     }
 
-    const std::string csv_path =
-        outPathFromEnv("BTBSIM_CSV_OUT", "results/" + g_bench_slug + ".csv");
+    const std::string csv_path = env::outPath(
+        "BTBSIM_CSV_OUT", "results/" + g_bench_slug + ".csv");
     if (!csv_path.empty()) {
         const std::filesystem::path p(csv_path);
         std::error_code ec;

@@ -65,5 +65,5 @@ main()
         "several blocks per hit), but in this contended setting that does "
         "not beat B-BTB 1BS Splt: avoiding BTB misses matters more than "
         "raw fetch-PC throughput.");
-    return 0;
+    return bench::finish();
 }

@@ -63,5 +63,5 @@ main()
         "significantly (paper: 13.4%% geomean, 6.0%%-15.6%%), and the "
         "speedup falls as the average dynamic basic-block size grows "
         "(large blocks already saturate a one-block-per-cycle frontend).");
-    return 0;
+    return bench::finish();
 }

@@ -46,5 +46,5 @@ main()
         "geomean); Skp gains up to 1.4% (0.1% geomean); R-BTB 16BS loses "
         "up to 1.4% (0.2% geomean). Fetch PCs per access: 5.6 (I-BTB 8), "
         "7.7 (I-BTB 16), 15.9 (Skp), 6.2 (R-BTB).");
-    return 0;
+    return bench::finish();
 }

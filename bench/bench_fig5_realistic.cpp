@@ -40,5 +40,5 @@ main()
         "branches (combined misfetch+mispredict 5.91 vs 0.84 MPKI, L1 hit "
         "60.8%% vs 76.3%%); adding slots helps R-BTB up to 3BS then flattens, "
         "while it *hurts* B-BTB (blocks start contending for entries).");
-    return 0;
+    return bench::finish();
 }

@@ -55,5 +55,5 @@ main()
         "entry recovers near-I-BTB performance (pressure is on slots, not "
         "entries); 128B regions need ~4 slots to pay off and lose again at "
         "6 slots (too few entries). Best realistic R-BTB: 2L1 3BS.");
-    return 0;
+    return bench::finish();
 }

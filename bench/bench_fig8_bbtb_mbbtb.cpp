@@ -49,5 +49,5 @@ main()
         "MB-BTB pull policies help monotonically (UncndDir < CallDir < "
         "AllBr), most at 3BS (entries are scarcer, so chaining recovers "
         "reach), yet MB-BTB 2BS AllBr still trails B-BTB 1BS Splt.");
-    return 0;
+    return bench::finish();
 }

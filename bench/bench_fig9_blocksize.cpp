@@ -44,5 +44,5 @@ main()
         "up to 6.3%%, 1.3%% geomean) then saturates; MB-BTB 3BS AllBr "
         "benefits most (paper: 64-instruction blocks give +6.8%% geomean "
         "over 16).");
-    return 0;
+    return bench::finish();
 }

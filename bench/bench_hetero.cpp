@@ -41,5 +41,5 @@ main()
         "should hold more distinct branches than the homogeneous B-BTB "
         "L2 and lose fewer taken branches entirely — the advantage the "
         "paper hypothesizes when suggesting heterogeneous hierarchies.");
-    return 0;
+    return bench::finish();
 }

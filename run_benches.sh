@@ -11,17 +11,25 @@
 #   --replay   Run the benches from those recordings instead of live
 #              stream generation, and report the wall clock saved against
 #              the most recent live run.
+#   --resume   Resume an interrupted sweep: completed points come back from
+#              the run cache (BTBSIM_RUN_CACHE, default results/cache) and
+#              only the remaining ones are simulated.
+#   --fresh    Drop the run cache first so every point simulates cold.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 record=0
 replay=0
+resume=0
+fresh=0
 for arg in "$@"; do
     case "$arg" in
         --record) record=1 ;;
         --replay) replay=1 ;;
+        --resume) resume=1 ;;
+        --fresh) fresh=1 ;;
         *)
-            echo "usage: $0 [--record] [--replay]" >&2
+            echo "usage: $0 [--record] [--replay] [--resume] [--fresh]" >&2
             exit 2
             ;;
     esac
@@ -29,6 +37,16 @@ done
 
 mkdir -p results
 trace_dir=results/btbt
+cache_dir=${BTBSIM_RUN_CACHE:-results/cache}
+
+if [[ $fresh -eq 1 && "$cache_dir" != 0 ]]; then
+    echo "=== dropping run cache $cache_dir ==="
+    rm -rf "$cache_dir"
+fi
+if [[ $resume -eq 1 ]]; then
+    export BTBSIM_RESUME=1
+    echo "=== resuming from run cache $cache_dir ==="
+fi
 
 if [[ $record -eq 1 ]]; then
     echo "=== recording suite traces -> $trace_dir ==="

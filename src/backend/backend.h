@@ -55,6 +55,8 @@ struct BackendConfig
         c.issue_width = 8192;
         return c;
     }
+
+    bool operator==(const BackendConfig &) const = default;
 };
 
 /**

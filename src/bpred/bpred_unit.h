@@ -22,6 +22,8 @@ struct BPredConfig
     PerceptronConfig perceptron;
     unsigned ras_entries = 64;
     unsigned indirect_entries = 4096;
+
+    bool operator==(const BPredConfig &) const = default;
 };
 
 /**

@@ -42,6 +42,8 @@ struct PerceptronConfig
         c.entries_per_table = std::max(64u, kb * 1024 / c.num_tables);
         return c;
     }
+
+    bool operator==(const PerceptronConfig &) const = default;
 };
 
 /**

@@ -39,6 +39,8 @@ struct BtbLevelGeom
     unsigned ways = 6;
 
     unsigned entries() const { return sets * ways; }
+
+    bool operator==(const BtbLevelGeom &) const = default;
 };
 
 /** Full description of a BTB hierarchy configuration. */
@@ -87,6 +89,8 @@ struct BtbConfig
 
     /** Human-readable configuration name used in reports. */
     std::string name() const;
+
+    bool operator==(const BtbConfig &) const = default;
 
     // ---- geometry helpers (Section 6.1 sizing) ---------------------------
 

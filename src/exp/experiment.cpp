@@ -1,0 +1,372 @@
+#include "exp/experiment.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/env.h"
+#include "exp/sha256.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "traceio/replay_env.h"
+
+namespace btbsim::exp {
+
+const char *
+pointStatusName(PointStatus s)
+{
+    switch (s) {
+      case PointStatus::kOk:
+        return "ok";
+      case PointStatus::kCached:
+        return "cached";
+      case PointStatus::kFailed:
+        return "failed";
+      case PointStatus::kSkipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+std::map<std::string, double>
+ExperimentResult::counters() const
+{
+    obs::StatRegistry reg;
+    auto scope = reg.scope("exp");
+    scope.counter("points") = summary.total;
+    scope.counter("ok") = summary.ok;
+    scope.counter("cached") = summary.cached;
+    scope.counter("failed") = summary.failed;
+    scope.counter("skipped") = summary.skipped;
+    scope.counter("retries") = summary.retries;
+    scope.counter("resumed") = summary.resumed;
+    std::map<std::string, double> out = reg.flatten();
+    out["exp.cache_hit_rate"] = summary.cacheHitRate();
+    out["exp.wall_seconds"] = summary.wall_seconds;
+    return out;
+}
+
+std::vector<const PointResult *>
+ExperimentResult::failures() const
+{
+    std::vector<const PointResult *> out;
+    for (const PointResult &p : points)
+        if (p.status == PointStatus::kFailed)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<SimStats>
+ExperimentResult::stats() const
+{
+    std::vector<SimStats> out;
+    out.reserve(points.size());
+    for (const PointResult &p : points)
+        if (p.hasStats())
+            out.push_back(p.stats);
+    return out;
+}
+
+ExperimentOptions
+ExperimentOptions::fromEnv(const std::string &default_cache_dir)
+{
+    ExperimentOptions o;
+    o.run = RunOptions::fromEnv();
+    o.cache_dir = RunCache::dirFromEnv(default_cache_dir);
+    // A cached point skips simulation, so it produces none of the
+    // per-run side effects decision tracing exists for. Run uncached
+    // when the tracer is on.
+    if (env::flag("BTBSIM_TRACE"))
+        o.cache_dir.clear();
+    o.resume = env::flag("BTBSIM_RESUME");
+    o.retries = static_cast<unsigned>(env::u64("BTBSIM_RETRIES", o.retries));
+    o.max_failures =
+        static_cast<unsigned>(env::u64("BTBSIM_MAX_FAILURES", 0));
+    return o;
+}
+
+namespace {
+
+/** Append-only, crash-tolerant completion journal (JSONL). */
+class Journal
+{
+  public:
+    /** @p resume keeps the existing file and loads completed digests. */
+    Journal(const std::string &path, bool resume) : path_(path)
+    {
+        if (path_.empty())
+            return;
+        const std::filesystem::path p(path_);
+        std::error_code ec;
+        if (p.has_parent_path())
+            std::filesystem::create_directories(p.parent_path(), ec);
+        if (resume)
+            loadCompleted();
+        os_.open(path_, resume ? std::ios::app : std::ios::trunc);
+    }
+
+    bool completedBefore(const std::string &digest) const
+    {
+        return completed_.count(digest) > 0;
+    }
+
+    std::size_t completedCount() const { return completed_.size(); }
+
+    void
+    append(const PointResult &p)
+    {
+        if (!os_.is_open())
+            return;
+        std::lock_guard<std::mutex> lk(mu_);
+        std::ostringstream line;
+        obs::JsonWriter w(line);
+        w.beginObject();
+        w.kv("digest", p.digest);
+        w.kv("status", pointStatusName(p.status));
+        w.kv("config", p.config);
+        w.kv("workload", p.workload);
+        w.kv("attempts", p.attempts);
+        if (!p.error.empty())
+            w.kv("error", p.error);
+        w.endObject();
+        std::string s = line.str();
+        // One record per line: the JsonWriter pretty-prints, so strip
+        // newlines before appending.
+        std::string flat;
+        flat.reserve(s.size());
+        for (char c : s)
+            if (c != '\n')
+                flat += c;
+        os_ << flat << '\n' << std::flush;
+    }
+
+  private:
+    void
+    loadCompleted()
+    {
+        std::ifstream is(path_);
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            try {
+                const obs::JsonValue v = obs::parseJson(line);
+                const std::string status = v.at("status").asString();
+                if (status == "ok" || status == "cached")
+                    completed_.insert(v.at("digest").asString());
+            } catch (const std::exception &) {
+                // A torn final line from a crash is expected; skip it.
+            }
+        }
+    }
+
+    std::string path_;
+    std::ofstream os_;
+    std::mutex mu_;
+    std::set<std::string> completed_;
+};
+
+unsigned
+resolveThreads(unsigned requested, std::size_t jobs)
+{
+    unsigned n = requested;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 4;
+    }
+    return std::min<unsigned>(n, static_cast<unsigned>(std::max<std::size_t>(
+                                     jobs, 1)));
+}
+
+} // namespace
+
+Experiment::Experiment(std::string name, std::vector<CpuConfig> configs,
+                       std::vector<WorkloadSpec> workloads,
+                       ExperimentOptions opt)
+    : name_(std::move(name)), configs_(std::move(configs)),
+      workloads_(std::move(workloads)), opt_(std::move(opt))
+{
+    if (!opt_.simulate)
+        opt_.simulate = [](const CpuConfig &c, const WorkloadSpec &w,
+                           const RunOptions &o) { return runOne(c, w, o); };
+}
+
+ExperimentResult
+Experiment::run()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    ExperimentResult result;
+    result.name = name_;
+    result.points.resize(configs_.size() * workloads_.size());
+
+    // Pre-compute every point's identity. The effective sample interval
+    // and per-workload source kind are part of the key: both change the
+    // resulting SimStats.
+    const std::uint64_t sample_interval = obs::Sampler::intervalFromEnv();
+    const std::string replay_dir = traceio::replayDirFromEnv();
+    std::vector<std::string> key_jsons(result.points.size());
+    for (std::size_t c = 0; c < configs_.size(); ++c) {
+        for (std::size_t w = 0; w < workloads_.size(); ++w) {
+            const std::size_t i = c * workloads_.size() + w;
+            PointResult &p = result.points[i];
+            p.config_index = c;
+            p.workload_index = w;
+            p.config = configs_[c].btb.name();
+            p.workload = workloads_[w].name;
+
+            RunKey key;
+            key.config = configs_[c];
+            key.workload = workloads_[w];
+            key.opt = opt_.run;
+            key.sample_interval = sample_interval;
+            std::error_code ec;
+            const std::string rp =
+                traceio::replayPath(replay_dir, workloads_[w].name);
+            key.source_kind = (!rp.empty() &&
+                               std::filesystem::exists(rp, ec))
+                                  ? "replay"
+                                  : "generated";
+            key_jsons[i] = canonicalRunKeyJson(key);
+            p.digest = Sha256::hexDigest(key_jsons[i]);
+        }
+    }
+
+    const RunCache cache(opt_.cache_dir);
+
+    std::string journal_path = opt_.journal_path;
+    if (journal_path.empty() && cache.enabled())
+        journal_path = (std::filesystem::path(cache.dir()) / "journal" /
+                        (obs::slugify(name_) + ".jsonl"))
+                           .string();
+    Journal journal(journal_path, opt_.resume);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> failures{0};
+    std::atomic<std::size_t> retries{0};
+    std::atomic<std::size_t> resumed{0};
+    std::mutex point_mu; // Serializes the on_point callback.
+
+    auto finishPoint = [&](PointResult &p) {
+        journal.append(p);
+        if (opt_.on_point) {
+            std::lock_guard<std::mutex> lk(point_mu);
+            opt_.on_point(p);
+        }
+    };
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= result.points.size())
+                return;
+            PointResult &p = result.points[i];
+
+            // Circuit breaker: once the failure budget is spent, stop
+            // burning host time and report the rest as skipped.
+            if (opt_.max_failures != 0 &&
+                failures.load() >= opt_.max_failures) {
+                p.status = PointStatus::kSkipped;
+                finishPoint(p);
+                continue;
+            }
+
+            if (cache.enabled()) {
+                if (auto hit = cache.load(p.digest)) {
+                    p.status = PointStatus::kCached;
+                    p.stats = std::move(*hit);
+                    if (opt_.resume && journal.completedBefore(p.digest))
+                        resumed.fetch_add(1);
+                    finishPoint(p);
+                    continue;
+                }
+            }
+
+            const CpuConfig &cfg = configs_[p.config_index];
+            const WorkloadSpec &spec = workloads_[p.workload_index];
+            const unsigned max_attempts = 1 + opt_.retries;
+            for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+                p.attempts = attempt;
+                try {
+                    p.stats = opt_.simulate(cfg, spec, opt_.run);
+                    p.status = PointStatus::kOk;
+                    p.error.clear();
+                    break;
+                } catch (const std::exception &e) {
+                    p.error = e.what();
+                } catch (...) {
+                    p.error = "non-standard exception";
+                }
+                p.status = PointStatus::kFailed;
+                if (attempt < max_attempts) {
+                    retries.fetch_add(1);
+                    // Bounded exponential backoff, capped at 1s.
+                    const unsigned ms = std::min<unsigned>(
+                        opt_.backoff_ms << (attempt - 1), 1000);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(ms));
+                }
+            }
+
+            if (p.status == PointStatus::kOk) {
+                if (cache.enabled())
+                    cache.store(p.digest, key_jsons[i], p.stats);
+            } else {
+                failures.fetch_add(1);
+            }
+            finishPoint(p);
+        }
+    };
+
+    const unsigned n_threads =
+        resolveThreads(opt_.run.threads, result.points.size());
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    ExperimentSummary &s = result.summary;
+    s.total = result.points.size();
+    for (const PointResult &p : result.points) {
+        switch (p.status) {
+          case PointStatus::kOk:
+            ++s.ok;
+            break;
+          case PointStatus::kCached:
+            ++s.cached;
+            break;
+          case PointStatus::kFailed:
+            ++s.failed;
+            break;
+          case PointStatus::kSkipped:
+            ++s.skipped;
+            break;
+        }
+    }
+    s.retries = retries.load();
+    s.resumed = resumed.load();
+    s.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return result;
+}
+
+ExperimentResult
+runExperiment(std::string name, std::vector<CpuConfig> configs,
+              std::vector<WorkloadSpec> workloads, ExperimentOptions opt)
+{
+    return Experiment(std::move(name), std::move(configs),
+                      std::move(workloads), std::move(opt))
+        .run();
+}
+
+} // namespace btbsim::exp

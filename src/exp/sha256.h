@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal dependency-free SHA-256 (FIPS 180-4), used by the experiment
+ * engine to content-address run-cache entries and to integrity-check
+ * stored results. Not a performance path: cache keys are a few KB of
+ * canonical JSON.
+ */
+
+#ifndef BTBSIM_EXP_SHA256_H
+#define BTBSIM_EXP_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace btbsim::exp {
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, std::size_t len);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 32-byte digest (context then unusable
+     *  until reset()). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** One-shot convenience: lowercase hex digest of @p s. */
+    static std::string hexDigest(std::string_view s);
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::uint32_t h_[8];
+    std::uint64_t total_ = 0; ///< Message length in bytes.
+    std::uint8_t buf_[64];
+    std::size_t buf_len_ = 0;
+};
+
+} // namespace btbsim::exp
+
+#endif // BTBSIM_EXP_SHA256_H

@@ -59,6 +59,8 @@ struct CacheConfig
     unsigned latency = 3;   ///< Cumulative load-to-use on hit.
     unsigned mshrs = 16;
     bool next_line_prefetch = false;
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /**

@@ -23,6 +23,8 @@ struct MemConfig
     CacheConfig llc{"LLC", 2048, 16, 35, 64, false};
     unsigned dram_latency = 120;
     unsigned icache_interleaves = 8;
+
+    bool operator==(const MemConfig &) const = default;
 };
 
 /**

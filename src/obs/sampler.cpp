@@ -1,16 +1,13 @@
 #include "obs/sampler.h"
 
-#include <cstdlib>
+#include "common/env.h"
 
 namespace btbsim::obs {
 
 std::uint64_t
 Sampler::intervalFromEnv()
 {
-    const char *v = std::getenv("BTBSIM_SAMPLE_INTERVAL");
-    if (!v || !*v)
-        return kDefaultIntervalCycles;
-    return std::strtoull(v, nullptr, 10);
+    return env::u64("BTBSIM_SAMPLE_INTERVAL", kDefaultIntervalCycles);
 }
 
 void

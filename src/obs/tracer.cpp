@@ -1,8 +1,8 @@
 #include "obs/tracer.h"
 
-#include <cstdlib>
-#include <cstring>
 #include <ostream>
+
+#include "common/env.h"
 
 namespace btbsim::obs {
 
@@ -43,17 +43,13 @@ Tracer::dumpJsonl(std::ostream &os) const
 bool
 Tracer::enabledFromEnv()
 {
-    const char *v = std::getenv("BTBSIM_TRACE");
-    return v && *v && std::strcmp(v, "0") != 0;
+    return env::flag("BTBSIM_TRACE");
 }
 
 std::size_t
 Tracer::capacityFromEnv()
 {
-    const char *v = std::getenv("BTBSIM_TRACE_CAP");
-    if (!v || !*v)
-        return kDefaultCapacity;
-    const std::uint64_t cap = std::strtoull(v, nullptr, 10);
+    const std::uint64_t cap = env::u64("BTBSIM_TRACE_CAP", 0);
     return cap > 0 ? static_cast<std::size_t>(cap) : kDefaultCapacity;
 }
 

@@ -43,6 +43,8 @@ struct CpuConfig
         c.backend = BackendConfig::idealBackend();
         return c;
     }
+
+    bool operator==(const CpuConfig &) const = default;
 };
 
 } // namespace btbsim

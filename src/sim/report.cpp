@@ -173,7 +173,8 @@ ResultSet::printPerWorkload(std::ostream &os, const std::string &config) const
 
 void
 ResultSet::writeJson(std::ostream &os, const std::string &bench,
-                     const std::string &baseline) const
+                     const std::string &baseline,
+                     const std::map<std::string, double> *experiment) const
 {
     obs::JsonWriter w(os);
     w.beginObject();
@@ -202,6 +203,14 @@ ResultSet::writeJson(std::ostream &os, const std::string &bench,
         w.endObject();
     }
     w.endObject();
+
+    if (experiment) {
+        w.key("experiment");
+        w.beginObject();
+        for (const auto &[name, v] : *experiment)
+            w.kv(name, v);
+        w.endObject();
+    }
 
     w.endObject();
     os << "\n";

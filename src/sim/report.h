@@ -62,9 +62,15 @@ class ResultSet
      * Emit the schema-versioned result JSON (obs/export.h documents the
      * schema). @p bench names the producing bench; @p baseline (may be
      * empty) selects the config used for normalized-IPC aggregates.
+     * @p experiment, when non-null, is emitted as a top-level
+     * "experiment" object (the engine's exp.* progress/cache metrics);
+     * the "runs" array is unaffected, so cached and cold sweeps stay
+     * comparable byte for byte.
      */
     void writeJson(std::ostream &os, const std::string &bench,
-                   const std::string &baseline) const;
+                   const std::string &baseline,
+                   const std::map<std::string, double> *experiment =
+                       nullptr) const;
 
     /** One CSV row per (config, workload) run. */
     void writeCsv(std::ostream &os) const;

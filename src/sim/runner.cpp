@@ -1,14 +1,14 @@
 #include "sim/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
-#include <thread>
+#include <stdexcept>
 
+#include "common/env.h"
+#include "exp/experiment.h"
 #include "obs/export.h"
 #include "obs/tracer.h"
 #include "sim/cpu.h"
@@ -18,23 +18,13 @@ namespace btbsim {
 
 namespace {
 
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (!v || !*v)
-        return fallback;
-    return std::strtoull(v, nullptr, 10);
-}
-
 /** Dump a run's trace ring buffer to BTBSIM_TRACE_DIR (default
  *  results/traces) as <config>__<workload>.jsonl. */
 void
 dumpTrace(const obs::Tracer &tracer, const SimStats &s)
 {
-    const char *dir_env = std::getenv("BTBSIM_TRACE_DIR");
     const std::filesystem::path dir =
-        (dir_env && *dir_env) ? dir_env : "results/traces";
+        env::str("BTBSIM_TRACE_DIR", "results/traces");
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec)
@@ -53,10 +43,11 @@ RunOptions
 RunOptions::fromEnv()
 {
     RunOptions o;
-    o.warmup = envU64("BTBSIM_WARMUP", o.warmup);
-    o.measure = envU64("BTBSIM_MEASURE", o.measure);
-    o.traces = static_cast<std::size_t>(envU64("BTBSIM_TRACES", o.traces));
-    o.threads = static_cast<unsigned>(envU64("BTBSIM_THREADS", 0));
+    o.warmup = env::u64("BTBSIM_WARMUP", o.warmup);
+    o.measure = env::u64("BTBSIM_MEASURE", o.measure);
+    o.traces =
+        static_cast<std::size_t>(env::u64("BTBSIM_TRACES", o.traces));
+    o.threads = static_cast<unsigned>(env::u64("BTBSIM_THREADS", 0));
     return o;
 }
 
@@ -113,45 +104,28 @@ std::vector<SimStats>
 runMatrix(const std::vector<CpuConfig> &configs,
           const std::vector<WorkloadSpec> &suite, const RunOptions &opt)
 {
-    struct Job
-    {
-        std::size_t cfg;
-        std::size_t wl;
-    };
-    std::vector<Job> jobs;
-    for (std::size_t c = 0; c < configs.size(); ++c)
-        for (std::size_t w = 0; w < suite.size(); ++w)
-            jobs.push_back({c, w});
+    // Thin delegating wrapper over the experiment engine (exp/
+    // experiment.h). The run cache stays off unless BTBSIM_RUN_CACHE is
+    // explicitly set, keeping direct callers (tests) hermetic; benches
+    // get caching by default through bench_common's Experiment use.
+    exp::ExperimentOptions eopt;
+    eopt.run = opt;
+    eopt.cache_dir = exp::RunCache::dirFromEnv("");
+    eopt.retries =
+        static_cast<unsigned>(env::u64("BTBSIM_RETRIES", eopt.retries));
 
-    std::vector<SimStats> results(jobs.size());
-    std::atomic<std::size_t> next{0};
-
-    unsigned n_threads = opt.threads;
-    if (n_threads == 0) {
-        n_threads = std::thread::hardware_concurrency();
-        if (n_threads == 0)
-            n_threads = 4;
+    exp::ExperimentResult r = exp::runExperiment(
+        "run_matrix", configs, suite, std::move(eopt));
+    if (!r.allOk()) {
+        std::string what = "runMatrix: " +
+                           std::to_string(r.summary.failed) +
+                           " point(s) failed:";
+        for (const exp::PointResult *p : r.failures())
+            what += "\n  (" + p->config + ", " + p->workload +
+                    "): " + p->error;
+        throw std::runtime_error(what);
     }
-    n_threads = std::min<unsigned>(n_threads,
-                                   static_cast<unsigned>(jobs.size()));
-
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
-                return;
-            results[i] = runOne(configs[jobs[i].cfg], suite[jobs[i].wl], opt);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
-
-    return results;
+    return r.stats();
 }
 
 } // namespace btbsim

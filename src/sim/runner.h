@@ -27,6 +27,8 @@ struct RunOptions
     unsigned threads = 0; ///< 0 = hardware concurrency.
 
     static RunOptions fromEnv();
+
+    bool operator==(const RunOptions &) const = default;
 };
 
 /** Simulate one configuration on one workload. */
@@ -40,6 +42,12 @@ SimStats runOne(const CpuConfig &cfg, const WorkloadSpec &spec,
  * its own TraceSource (generated or .btbt replay — see
  * traceio/replay_env.h), never sharing instances, so results are
  * bit-identical regardless of thread count.
+ *
+ * This is a thin wrapper over the experiment engine (exp/experiment.h),
+ * which adds the content-addressed run cache, retries and per-point
+ * failure isolation; prefer it for new sweeps. A point that still fails
+ * after retries makes runMatrix throw std::runtime_error listing every
+ * failed (config, workload) — after the rest of the sweep completed.
  */
 std::vector<SimStats> runMatrix(const std::vector<CpuConfig> &configs,
                                 const std::vector<WorkloadSpec> &suite,

@@ -11,6 +11,11 @@
  *       and exit 1 when any config regresses by more than FRAC (default
  *       0.02 = 2%). Used by CI as a regression gate.
  *
+ *   btbsim-stats env [--markdown]
+ *       Dump every BTBSIM_* knob the simulator honours (common/env.h
+ *       facade): name, default, current value, description. --markdown
+ *       emits the README env-var table.
+ *
  * Exit codes: 0 ok, 1 regression found, 2 usage or parse error.
  */
 
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "obs/export.h"
 #include "obs/json.h"
 
@@ -180,13 +186,39 @@ cmdDiff(const std::string &old_path, const std::string &new_path,
     return 0;
 }
 
+int
+cmdEnv(bool markdown)
+{
+    if (markdown) {
+        std::printf("| Variable | Default | Description |\n");
+        std::printf("| --- | --- | --- |\n");
+        for (const btbsim::env::Knob &k : btbsim::env::knobs())
+            std::printf("| `%s` | `%s` | %s |\n", k.name,
+                        *k.fallback ? k.fallback : "(unset)", k.description);
+        return 0;
+    }
+    std::printf("%-24s %-16s %-16s %s\n", "variable", "default", "current",
+                "description");
+    std::printf("%s\n", std::string(100, '-').c_str());
+    for (const btbsim::env::Knob &k : btbsim::env::knobs()) {
+        const std::string cur = btbsim::env::isSet(k.name)
+                                    ? btbsim::env::raw(k.name)
+                                    : "(unset)";
+        std::printf("%-24s %-16s %-16s %s\n", k.name,
+                    *k.fallback ? k.fallback : "(unset)", cur.c_str(),
+                    k.description);
+    }
+    return 0;
+}
+
 void
 usage()
 {
     std::fprintf(
         stderr,
         "usage: btbsim-stats show <file.json>\n"
-        "       btbsim-stats diff <old.json> <new.json> [--threshold F]\n");
+        "       btbsim-stats diff <old.json> <new.json> [--threshold F]\n"
+        "       btbsim-stats env [--markdown]\n");
 }
 
 } // namespace
@@ -197,6 +229,9 @@ main(int argc, char **argv)
     try {
         if (argc >= 3 && std::strcmp(argv[1], "show") == 0)
             return cmdShow(argv[2]);
+        if (argc >= 2 && std::strcmp(argv[1], "env") == 0)
+            return cmdEnv(argc >= 3 &&
+                          std::strcmp(argv[2], "--markdown") == 0);
         if (argc >= 4 && std::strcmp(argv[1], "diff") == 0) {
             double threshold = 0.02;
             for (int i = 4; i + 1 < argc; ++i)

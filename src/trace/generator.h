@@ -71,6 +71,8 @@ struct GenParams
 
     /** Probability a source register comes from a recent producer. */
     double dep_locality = 0.22;
+
+    bool operator==(const GenParams &) const = default;
 };
 
 /**

@@ -21,6 +21,8 @@ struct WorkloadSpec
     std::string name;
     GenParams params;
     std::uint64_t trace_seed = 1;
+
+    bool operator==(const WorkloadSpec &) const = default;
 };
 
 /**

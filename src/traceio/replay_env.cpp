@@ -1,11 +1,11 @@
 #include "traceio/replay_env.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <set>
 
+#include "common/env.h"
 #include "traceio/format.h"
 #include "traceio/trace_reader.h"
 
@@ -14,8 +14,7 @@ namespace btbsim::traceio {
 std::string
 replayDirFromEnv()
 {
-    const char *v = std::getenv("BTBSIM_TRACE_DIR");
-    return (v && *v) ? v : std::string();
+    return env::raw("BTBSIM_TRACE_DIR");
 }
 
 std::string

@@ -1,9 +1,10 @@
 #include "traceio/trace_reader.h"
 
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <utility>
+
+#include "common/env.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define BTBSIM_HAVE_MMAP 1
@@ -14,17 +15,6 @@
 #endif
 
 namespace btbsim::traceio {
-
-namespace {
-
-bool
-envDisabled(const char *name)
-{
-    const char *v = std::getenv(name);
-    return v && std::strcmp(v, "0") == 0;
-}
-
-} // namespace
 
 // ---------------------------------------------------------------------
 // MappedFile.
@@ -81,10 +71,10 @@ TraceReplaySource::Options
 TraceReplaySource::Options::fromEnv()
 {
     Options o;
-    o.use_mmap = !envDisabled("BTBSIM_REPLAY_MMAP");
-    o.background_decode = !envDisabled("BTBSIM_REPLAY_ASYNC");
-    if (const char *v = std::getenv("BTBSIM_REPLAY_CACHE_MB"))
-        o.cache_budget_bytes = std::strtoull(v, nullptr, 10) << 20;
+    o.use_mmap = !env::disabled("BTBSIM_REPLAY_MMAP");
+    o.background_decode = !env::disabled("BTBSIM_REPLAY_ASYNC");
+    if (env::isSet("BTBSIM_REPLAY_CACHE_MB"))
+        o.cache_budget_bytes = env::u64("BTBSIM_REPLAY_CACHE_MB", 0) << 20;
     return o;
 }
 

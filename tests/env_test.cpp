@@ -1,0 +1,156 @@
+/** @file Tests for the BTBSIM_* environment-knob facade. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/env.h"
+
+using namespace btbsim;
+
+namespace {
+
+/** Scoped env override that restores the previous state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            old_ = old;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (old_)
+            setenv(name_.c_str(), old_->c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::optional<std::string> old_;
+};
+
+constexpr const char *kVar = "BTBSIM_WARMUP"; // Any registered knob.
+
+} // namespace
+
+TEST(Env, KnobTableIsWellFormed)
+{
+    const auto &ks = env::knobs();
+    ASSERT_FALSE(ks.empty());
+    std::set<std::string> names;
+    for (const env::Knob &k : ks) {
+        EXPECT_TRUE(std::string(k.name).starts_with("BTBSIM_")) << k.name;
+        EXPECT_TRUE(names.insert(k.name).second)
+            << "duplicate knob " << k.name;
+        EXPECT_NE(std::string(k.description), "") << k.name;
+        EXPECT_TRUE(env::isKnown(k.name));
+    }
+    EXPECT_FALSE(env::isKnown("BTBSIM_NO_SUCH_KNOB"));
+}
+
+TEST(Env, EveryDocumentedKnobIsRegistered)
+{
+    // The knobs the rest of the library reads through the facade.
+    for (const char *name :
+         {"BTBSIM_WARMUP", "BTBSIM_MEASURE", "BTBSIM_TRACES",
+          "BTBSIM_THREADS", "BTBSIM_RUN_CACHE", "BTBSIM_RESUME",
+          "BTBSIM_RETRIES", "BTBSIM_MAX_FAILURES", "BTBSIM_SAMPLE_INTERVAL",
+          "BTBSIM_TRACE", "BTBSIM_TRACE_CAP", "BTBSIM_TRACE_DIR",
+          "BTBSIM_JSON_OUT", "BTBSIM_CSV_OUT"})
+        EXPECT_TRUE(env::isKnown(name)) << name;
+}
+
+TEST(Env, RawAndIsSet)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_EQ(env::raw(kVar), "");
+        EXPECT_FALSE(env::isSet(kVar));
+    }
+    {
+        ScopedEnv e(kVar, "");
+        EXPECT_FALSE(env::isSet(kVar));
+    }
+    {
+        ScopedEnv e(kVar, "123");
+        EXPECT_EQ(env::raw(kVar), "123");
+        EXPECT_TRUE(env::isSet(kVar));
+    }
+}
+
+TEST(Env, U64)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_EQ(env::u64(kVar, 77), 77u);
+    }
+    {
+        ScopedEnv e(kVar, "123456789012");
+        EXPECT_EQ(env::u64(kVar, 77), 123456789012ull);
+    }
+}
+
+TEST(Env, FlagAndDisabled)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_FALSE(env::flag(kVar));
+        EXPECT_FALSE(env::disabled(kVar));
+    }
+    {
+        ScopedEnv e(kVar, "0");
+        EXPECT_FALSE(env::flag(kVar));
+        EXPECT_TRUE(env::disabled(kVar));
+    }
+    {
+        ScopedEnv e(kVar, "1");
+        EXPECT_TRUE(env::flag(kVar));
+        EXPECT_FALSE(env::disabled(kVar));
+    }
+}
+
+TEST(Env, Str)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_EQ(env::str(kVar, "fb"), "fb");
+    }
+    {
+        ScopedEnv e(kVar, "path/x");
+        EXPECT_EQ(env::str(kVar, "fb"), "path/x");
+    }
+}
+
+TEST(Env, OutPathSemantics)
+{
+    {
+        ScopedEnv e(kVar, nullptr);
+        EXPECT_EQ(env::outPath(kVar, "d.json"), "");
+    }
+    {
+        ScopedEnv e(kVar, "0");
+        EXPECT_EQ(env::outPath(kVar, "d.json"), "");
+    }
+    {
+        ScopedEnv e(kVar, "1");
+        EXPECT_EQ(env::outPath(kVar, "d.json"), "d.json");
+    }
+    {
+        ScopedEnv e(kVar, "true");
+        EXPECT_EQ(env::outPath(kVar, "d.json"), "d.json");
+    }
+    {
+        ScopedEnv e(kVar, "other.json");
+        EXPECT_EQ(env::outPath(kVar, "d.json"), "other.json");
+    }
+}
