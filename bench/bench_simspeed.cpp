@@ -1,95 +1,195 @@
 /**
  * @file
- * Simulator micro-benchmarks (google-benchmark): trace generation and
- * interpretation throughput, plus full-pipeline simulation speed for each
- * BTB organization. Useful for tracking performance regressions of the
- * simulator itself.
+ * Host-throughput microbench: simulation speed (Mi/s of simulated
+ * instructions per host second) for each of the five BTB organizations
+ * over the synthetic server suite. This tracks the speed of the
+ * *simulator*, not of the simulated frontend — run it on a Release build
+ * and compare geomeans across commits to catch host-side regressions in
+ * the PcGen/BtbOrg hot path.
+ *
+ * Scale with BTBSIM_WARMUP / BTBSIM_MEASURE / BTBSIM_TRACES like the
+ * figure benches. Each (organization, workload) point is timed over
+ * kReps runs and the fastest rep is kept (best-of-N rejects scheduler
+ * noise on loaded hosts). BTBSIM_JSON_OUT writes the host JSON block
+ * (schema "btbsim-simspeed-v1") to the given path, or to
+ * results/bench_simspeed.json when set to 1.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "common/env.h"
 #include "sim/cpu.h"
-#include "trace/generator.h"
+#include "sim/runner.h"
 #include "trace/suite.h"
-#include "trace/synthetic_trace.h"
 
 using namespace btbsim;
 
 namespace {
 
-const Program &
-benchProgram()
-{
-    static const Program prog = [] {
-        GenParams p;
-        p.seed = 0x5151;
-        p.target_static_insts = 48 * 1024;
-        p.num_handlers = 8;
-        return generateProgram(p);
-    }();
-    return prog;
-}
+constexpr int kReps = 2;
 
-void
-BM_GenerateProgram(benchmark::State &state)
+/** One canonical configuration per organization (Table 1 geometry). */
+std::vector<CpuConfig>
+speedConfigs()
 {
-    GenParams p;
-    p.seed = 0x1234;
-    p.target_static_insts = static_cast<std::uint32_t>(state.range(0));
-    for (auto _ : state) {
-        Program prog = generateProgram(p);
-        benchmark::DoNotOptimize(prog.insts.data());
+    std::vector<BtbConfig> btbs = {
+        BtbConfig::ibtb(16),
+        BtbConfig::rbtb(3),
+        BtbConfig::bbtb(2),
+        BtbConfig::mbbtb(3, PullPolicy::kAllBr),
+        BtbConfig::hetero(2),
+    };
+    std::vector<CpuConfig> cfgs;
+    for (const BtbConfig &b : btbs) {
+        CpuConfig c;
+        c.btb = b;
+        cfgs.push_back(c);
     }
-    state.SetItemsProcessed(state.iterations() * p.target_static_insts);
+    return cfgs;
 }
 
-void
-BM_InterpretTrace(benchmark::State &state)
+/** Best-of-kReps simulation throughput in Mi/s for one point. */
+double
+timePoint(const CpuConfig &cfg, Workload &wl, const RunOptions &opt)
 {
-    SyntheticTrace trace(benchProgram(), 1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(trace.next().pc);
-    state.SetItemsProcessed(state.iterations());
-}
-
-void
-BM_SimulateOrg(benchmark::State &state)
-{
-    const auto kind = static_cast<BtbKind>(state.range(0));
-    CpuConfig cfg;
-    switch (kind) {
-      case BtbKind::kInstruction:
-        cfg.btb = BtbConfig::ibtb(16);
-        break;
-      case BtbKind::kRegion:
-        cfg.btb = BtbConfig::rbtb(3);
-        break;
-      case BtbKind::kBlock:
-        cfg.btb = BtbConfig::bbtb(1, true);
-        break;
-      case BtbKind::kMultiBlock:
-        cfg.btb = BtbConfig::mbbtb(3, PullPolicy::kAllBr, 64);
-        break;
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        wl.reset();
+        Cpu cpu(cfg, wl);
+        const auto t0 = std::chrono::steady_clock::now();
+        cpu.run(opt.warmup, opt.measure);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        const double insts = static_cast<double>(opt.warmup) +
+                             static_cast<double>(cpu.stats().instructions);
+        const double mips = secs > 0 ? insts / 1e6 / secs : 0.0;
+        if (mips > best)
+            best = mips;
     }
-    const std::uint64_t chunk = 100'000;
-    SyntheticTrace trace(benchProgram(), 2);
-    Cpu cpu(cfg, trace);
-    for (auto _ : state)
-        cpu.run(0, chunk);
-    state.SetItemsProcessed(static_cast<std::int64_t>(cpu.committed()));
-    state.SetLabel(cfg.btb.name());
+    return best;
+}
+
+double
+geomeanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+struct OrgResult
+{
+    std::string config;
+    std::vector<double> mips; ///< One per workload, suite order.
+    double geo = 0.0;
+};
+
+void
+writeJson(const std::vector<OrgResult> &orgs,
+          const std::vector<WorkloadSpec> &suite, const RunOptions &opt,
+          double overall, const std::string &path)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream os(p);
+    if (!os) {
+        std::fprintf(stderr, "simspeed: cannot write %s\n", path.c_str());
+        return;
+    }
+    os << "{\n  \"schema\": \"btbsim-simspeed-v1\",\n"
+       << "  \"bench\": \"simspeed\",\n"
+#ifdef NDEBUG
+       << "  \"build\": \"optimized\",\n"
+#else
+       << "  \"build\": \"debug\",\n"
+#endif
+       << "  \"warmup\": " << opt.warmup << ",\n"
+       << "  \"measure\": " << opt.measure << ",\n"
+       << "  \"reps\": " << kReps << ",\n"
+       << "  \"geomean_minst_per_sec\": " << overall << ",\n"
+       << "  \"orgs\": [\n";
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+        const OrgResult &o = orgs[i];
+        os << "    {\"config\": \"" << o.config
+           << "\", \"geomean_minst_per_sec\": " << o.geo
+           << ", \"workloads\": [";
+        for (std::size_t w = 0; w < o.mips.size(); ++w) {
+            os << "{\"workload\": \"" << suite[w].name
+               << "\", \"minst_per_sec\": " << o.mips[w] << "}";
+            if (w + 1 < o.mips.size())
+                os << ", ";
+        }
+        os << "]}" << (i + 1 < orgs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
 }
 
 } // namespace
 
-BENCHMARK(BM_GenerateProgram)->Arg(16 * 1024)->Arg(64 * 1024)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_InterpretTrace);
-BENCHMARK(BM_SimulateOrg)
-    ->Arg(static_cast<int>(BtbKind::kInstruction))
-    ->Arg(static_cast<int>(BtbKind::kRegion))
-    ->Arg(static_cast<int>(BtbKind::kBlock))
-    ->Arg(static_cast<int>(BtbKind::kMultiBlock))
-    ->Unit(benchmark::kMillisecond)->Iterations(5);
+int
+main()
+{
+    const RunOptions opt = RunOptions::fromEnv();
+    const std::vector<WorkloadSpec> suite = serverSuite(opt.traces);
+    const std::vector<CpuConfig> configs = speedConfigs();
 
-BENCHMARK_MAIN();
+    std::printf("=== Simulator host throughput (Mi/s, best of %d) ===\n",
+                kReps);
+#ifndef NDEBUG
+    std::printf("note: assertions enabled — compare Release builds only\n");
+#endif
+    std::printf("scale: warmup=%llu measure=%llu traces=%zu\n\n",
+                static_cast<unsigned long long>(opt.warmup),
+                static_cast<unsigned long long>(opt.measure), suite.size());
+
+    // Workloads are generated once and reset between points so timing
+    // excludes program generation.
+    std::vector<std::unique_ptr<Workload>> workloads;
+    workloads.reserve(suite.size());
+    for (const WorkloadSpec &spec : suite)
+        workloads.push_back(makeWorkload(spec));
+
+    std::printf("%-22s", "config");
+    for (const WorkloadSpec &spec : suite)
+        std::printf(" %10s", spec.name.c_str());
+    std::printf(" %10s\n", "geomean");
+
+    std::vector<OrgResult> results;
+    std::vector<double> geos;
+    for (const CpuConfig &cfg : configs) {
+        OrgResult r;
+        r.config = cfg.btb.name();
+        for (auto &wl : workloads)
+            r.mips.push_back(timePoint(cfg, *wl, opt));
+        r.geo = geomeanOf(r.mips);
+        geos.push_back(r.geo);
+
+        std::printf("%-22s", r.config.c_str());
+        for (double m : r.mips)
+            std::printf(" %10.3f", m);
+        std::printf(" %10.3f\n", r.geo);
+        results.push_back(std::move(r));
+    }
+
+    const double overall = geomeanOf(geos);
+    std::printf("\noverall geomean: %.3f Mi/s\n", overall);
+
+    const std::string json =
+        env::outPath("BTBSIM_JSON_OUT", "results/bench_simspeed.json");
+    if (!json.empty())
+        writeJson(results, suite, opt, overall, json);
+    return 0;
+}

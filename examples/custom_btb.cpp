@@ -26,8 +26,11 @@ namespace {
 
 /**
  * Region BTB with an overflow victim store. Slots displaced by intra-entry
- * contention stay visible to step() at no modelled latency cost, so the
- * frontend behaves as if entries could grow beyond their slot budget.
+ * contention stay visible to the bundle walk at no modelled latency cost,
+ * so the frontend behaves as if entries could grow beyond their slot
+ * budget. Demonstrates composing with an inner organization under the
+ * bundle protocol: let the inner org fill the bundle, then post-process
+ * it (extra slots must keep the (seg, pc) sort — call sortSlots()).
  */
 class HybridBtb : public BtbOrg
 {
@@ -38,27 +41,24 @@ class HybridBtb : public BtbOrg
         cfg_.region_bytes = cfg.region_bytes;
     }
 
-    int beginAccess(Addr pc) override { return inner_.beginAccess(pc); }
-
-    StepView
-    step(Addr pc) override
+    int
+    beginAccess(Addr pc, PredictionBundle &b) override
     {
-        StepView v = inner_.step(pc);
-        if (v.kind == StepView::Kind::kSequential) {
-            if (Victim *o = overflow_.find(pc)) {
-                v.kind = StepView::Kind::kBranch;
-                v.type = o->type;
-                v.target = o->target;
-                v.level = 1;
-            }
+        const int level = inner_.beginAccess(pc, b);
+        // Any window PC the region entry does not track may still hit
+        // the victim store.
+        const auto window = b.segments[0];
+        for (Addr cur = window.start; cur < window.end; cur += kInstBytes) {
+            bool tracked = false;
+            for (unsigned i = 0; i < b.n_slots; ++i)
+                tracked |= b.slots[i].pc == cur;
+            if (tracked)
+                continue;
+            if (Victim *o = overflow_.find(cur))
+                b.addSlot(0, cur, o->type, o->target, 1);
         }
-        return v;
-    }
-
-    bool
-    chainTaken(Addr pc, Addr target) override
-    {
-        return inner_.chainTaken(pc, target);
+        b.sortSlots();
+        return level;
     }
 
     void

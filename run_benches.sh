@@ -67,8 +67,9 @@ SECONDS=0
 for b in build/bench/bench_*; do
     name=$(basename "$b")
     echo "=== $name ==="
-    # bench_simspeed (google-benchmark) and bench_characterization
-    # (analyzer-only) produce no result JSON; the env knob is a no-op there.
+    # bench_simspeed writes its own host-throughput JSON schema
+    # (btbsim-simspeed-v1); bench_characterization (analyzer-only)
+    # produces no result JSON, so the env knob is a no-op there.
     BTBSIM_JSON_OUT="results/${name}.json" "$b" 2>&1 | tee "results/$name.txt"
 done
 elapsed=$SECONDS

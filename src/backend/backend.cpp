@@ -59,22 +59,37 @@ Backend::allocate(DynInst &&inst, Cycle now)
         return;
     }
 
-    live_.emplace(inst.seq, Cycle{0});
+    // Producer entries resolve through stable deque references; capture
+    // them before the move below. A stale pointer (producer committed or
+    // renamed before this window) is guarded by the seq check in
+    // depReady(), never dereferenced.
+    RobEntry *s1 = inst.in.src1 ? last_writer_entry_[inst.in.src1] : nullptr;
+    RobEntry *s2 = inst.in.src2 ? last_writer_entry_[inst.in.src2] : nullptr;
+
     rob_.push_back(RobEntry{std::move(inst), false});
+    RobEntry &e = rob_.back();
+    e.dep1_src = s1;
+    e.dep2_src = s2;
+    if (e.inst.in.dst)
+        last_writer_entry_[e.inst.in.dst] = &e;
+
+    if (unissued_tail_)
+        unissued_tail_->next_unissued = &e;
+    else
+        unissued_head_ = &e;
+    unissued_tail_ = &e;
 }
 
 bool
-Backend::depReady(std::uint64_t seq, Cycle now, Cycle &ready) const
+Backend::depReady(std::uint64_t seq, const RobEntry *src, Cycle now) const
 {
     if (seq == 0 || seq <= last_committed_seq_)
         return true;
-    auto it = live_.find(seq);
-    if (it == live_.end())
+    if (!src)
         return true; // Producer predates the measured window.
-    if (it->second == 0)
-        return false; // Producer not yet issued.
-    ready = std::max(ready, it->second);
-    return it->second <= now;
+    if (!src->issued)
+        return false;
+    return src->inst.complete_cycle <= now;
 }
 
 unsigned
@@ -106,42 +121,55 @@ void
 Backend::runCycle(Cycle now)
 {
     // ---- Issue ----------------------------------------------------------
+    // Walk the un-issued chain (the ROB-order subsequence the old
+    // full-ROB scan visited after skipping issued entries); issue unlinks
+    // in place, so long-lived issued entries cost nothing per cycle.
     unsigned issued = 0, loads = 0, stores = 0, misc = 0;
     unsigned window_scanned = 0;
-    for (RobEntry &e : rob_) {
-        if (cfg_.ideal)
-            break; // Scheduled at allocation.
+    RobEntry *prev = nullptr;
+    for (RobEntry *e = cfg_.ideal ? nullptr : unissued_head_; e;) {
         if (issued >= cfg_.issue_width)
             break;
-        if (e.issued)
-            continue;
         // Only the IQ window of oldest un-issued instructions is eligible.
         if (++window_scanned > cfg_.iq_size)
             break;
-        DynInst &d = e.inst;
-        if (d.alloc_cycle >= now)
-            continue; // Allocated this cycle; earliest issue is next cycle.
-
-        Cycle ready = 0;
-        if (!depReady(d.dep1, now, ready) || !depReady(d.dep2, now, ready))
+        DynInst &d = e->inst;
+        RobEntry *next = e->next_unissued;
+        if (d.alloc_cycle >= now) {
+            // Allocated this cycle; earliest issue is next cycle.
+            prev = e;
+            e = next;
             continue;
+        }
 
-        if (!cfg_.ideal) {
-            if (d.in.isLoad()) {
-                if (loads >= cfg_.load_ports)
-                    continue;
-            } else if (d.in.isStore()) {
-                if (stores >= cfg_.store_ports)
-                    continue;
-            } else if (misc >= cfg_.misc_ports) {
+        if (!depReady(d.dep1, e->dep1_src, now) ||
+            !depReady(d.dep2, e->dep2_src, now)) {
+            prev = e;
+            e = next;
+            continue;
+        }
+
+        if (d.in.isLoad()) {
+            if (loads >= cfg_.load_ports) {
+                prev = e;
+                e = next;
                 continue;
             }
+        } else if (d.in.isStore()) {
+            if (stores >= cfg_.store_ports) {
+                prev = e;
+                e = next;
+                continue;
+            }
+        } else if (misc >= cfg_.misc_ports) {
+            prev = e;
+            e = next;
+            continue;
         }
 
         d.issue_cycle = now;
         d.complete_cycle = now + execLatency(d, now);
-        live_[d.seq] = d.complete_cycle;
-        e.issued = true;
+        e->issued = true;
         --iq_occupancy_;
         ++issued;
         if (d.in.isLoad())
@@ -155,6 +183,14 @@ Backend::runCycle(Cycle now)
             has_pending_resteer_ = true;
             pending_resteer_complete_ = d.complete_cycle;
         }
+
+        if (prev)
+            prev->next_unissued = next;
+        else
+            unissued_head_ = next;
+        if (e == unissued_tail_)
+            unissued_tail_ = prev;
+        e = next;
     }
 
     // ---- Commit ---------------------------------------------------------
@@ -170,7 +206,8 @@ Backend::runCycle(Cycle now)
         if (head.inst.in.isLoad())
             --loads_in_flight_;
         last_committed_seq_ = head.inst.seq;
-        live_.erase(head.inst.seq);
+        if (cfg_.ideal)
+            live_.erase(head.inst.seq);
         rob_.pop_front();
         ++committed_;
         ++commits;

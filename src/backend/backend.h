@@ -94,13 +94,24 @@ class Backend
     {
         DynInst inst;
         bool issued = false;
+        /// Producing ROB entries of the renamed sources (null = none or
+        /// producer outside the ROB). Dereference only after checking the
+        /// dep seq against last_committed_seq_: deque references stay
+        /// stable until commit pops the producer.
+        RobEntry *dep1_src = nullptr;
+        RobEntry *dep2_src = nullptr;
+        /// Intrusive issue-scan chain threading the un-issued entries in
+        /// ROB order; issue unlinks, so the per-cycle scan never walks
+        /// already-issued entries.
+        RobEntry *next_unissued = nullptr;
     };
 
     BackendConfig cfg_;
     MemHier *mem_;
 
     std::deque<RobEntry> rob_;
-    /// seq -> complete_cycle for live (allocated, uncommitted) producers.
+    /// seq -> complete_cycle for live producers (ideal mode only: the
+    /// realistic path resolves producers through RobEntry pointers).
     std::unordered_map<std::uint64_t, Cycle> live_;
     std::uint64_t last_committed_seq_ = 0;
     std::uint64_t committed_ = 0;
@@ -114,10 +125,14 @@ class Backend
     Cycle pending_resteer_complete_ = 0;
     bool has_pending_resteer_ = false;
 
-    /// Rename: architectural register -> producing seq.
+    /// Rename: architectural register -> producing seq / ROB entry.
     std::uint64_t last_writer_[64] = {};
+    RobEntry *last_writer_entry_[64] = {};
 
-    bool depReady(std::uint64_t seq, Cycle now, Cycle &ready) const;
+    RobEntry *unissued_head_ = nullptr;
+    RobEntry *unissued_tail_ = nullptr;
+
+    bool depReady(std::uint64_t seq, const RobEntry *src, Cycle now) const;
     unsigned execLatency(const DynInst &d, Cycle now);
 };
 

@@ -18,48 +18,16 @@ BlockBtb::blockEnd(Addr start) const
 }
 
 int
-BlockBtb::beginAccess(Addr pc)
+BlockBtb::beginAccess(Addr pc, PredictionBundle &b)
 {
     ++stats["accesses"];
     auto [e, lvl] = table_.lookup(pc);
-    entry_ = e;
-    level_ = lvl;
-    block_start_ = pc;
-    window_end_ = pc + (e ? e->end_bytes : reachBytes());
-    return lvl;
-}
-
-StepView
-BlockBtb::step(Addr pc)
-{
-    StepView v;
-    if (pc < block_start_ || pc >= window_end_)
-        return v; // kEndOfWindow
-
-    v.kind = StepView::Kind::kSequential;
-    if (!entry_)
-        return v;
-
-    const auto offset = static_cast<std::uint32_t>(pc - block_start_);
-    for (Slot &s : entry_->slots) {
-        if (s.offset == offset) {
-            v.kind = StepView::Kind::kBranch;
-            v.type = s.type;
-            v.target = s.target;
-            v.level = level_;
-            s.tick = ++tick_;
-            return v;
-        }
-    }
-    return v;
-}
-
-bool
-BlockBtb::chainTaken(Addr pc, Addr target)
-{
-    (void)pc;
-    (void)target;
-    return false; // Plain B-BTB supplies a single block per access.
+    b.tick_counter = &tick_;
+    b.addSegment(pc, pc + (e ? e->end_bytes : reachBytes()));
+    if (e)
+        for (Slot &s : e->slots)
+            b.addSlot(0, pc + s.offset, s.type, s.target, lvl, &s.tick);
+    return lvl; // Entry slots are kept offset-sorted; no sortSlots needed.
 }
 
 void

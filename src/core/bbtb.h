@@ -28,9 +28,7 @@ class BlockBtb : public BtbOrg
   public:
     explicit BlockBtb(const BtbConfig &cfg);
 
-    int beginAccess(Addr pc) override;
-    StepView step(Addr pc) override;
-    bool chainTaken(Addr pc, Addr target) override;
+    int beginAccess(Addr pc, PredictionBundle &b) override;
     void update(const Instruction &br, bool resteer) override;
     OccupancySample sampleOccupancy() const override;
     const BtbConfig &config() const override { return cfg_; }
@@ -54,12 +52,6 @@ class BlockBtb : public BtbOrg
     BtbConfig cfg_;
     TwoLevelTable<Entry> table_;
     std::uint64_t tick_ = 0;
-
-    // Current access window.
-    Addr block_start_ = 0;
-    Addr window_end_ = 0;
-    Entry *entry_ = nullptr;
-    int level_ = 0;
 
     // Update-side cursor: start of the dynamic block being trained.
     Addr cur_block_ = 0;

@@ -4,12 +4,13 @@
  *
  * The frontend's PC-generation stage performs one BTB *access* per cycle
  * (two region probes for the 2L1 R-BTB). An access opens a window of
- * instruction PCs the organization can supply; PcGen walks the actual
- * trace through that window with step(), asking at each PC whether the
- * organization tracks a branch there and with what metadata. This keeps
- * the organizations swappable exactly as the paper requires while letting
- * the trace-driven frontend detect every divergence class (BTB miss,
- * branch-slot miss, stale target, direction mispredict).
+ * instruction PCs the organization can supply: beginAccess() fills a
+ * PredictionBundle (window segments plus branch slots) and the frontend
+ * walks the actual trace through it inline — see prediction_bundle.h.
+ * This keeps the organizations swappable exactly as the paper requires
+ * while letting the trace-driven frontend detect every divergence class
+ * (BTB miss, branch-slot miss, stale target, direction mispredict)
+ * without a virtual call per instruction.
  */
 
 #ifndef BTBSIM_CORE_BTB_ORG_H
@@ -21,29 +22,11 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "core/btb_config.h"
+#include "core/prediction_bundle.h"
 #include "core/set_assoc.h"
 #include "trace/instruction.h"
 
 namespace btbsim {
-
-/** What the organization says about one PC inside the current access. */
-struct StepView
-{
-    enum class Kind : std::uint8_t {
-        kEndOfWindow, ///< PC is outside what this access can supply.
-        kSequential,  ///< PC supplied; no tracked branch here.
-        kBranch,      ///< PC supplied; a tracked branch lives here.
-    };
-
-    Kind kind = Kind::kEndOfWindow;
-    BranchClass type = BranchClass::kNone; ///< kBranch: stored type.
-    Addr target = 0;                       ///< kBranch: stored target.
-    bool follow = false; ///< kBranch: taking it continues in-entry (MB).
-    /** kBranch: the entry holds no fall-through for this slot, so a
-     *  not-taken prediction must end the access (MB-BTB pulled slots). */
-    bool end_on_not_taken = false;
-    int level = 0; ///< BTB level supplying this info (1 or 2).
-};
 
 /** Periodic structure sample (Sections 5 and 6.1 metrics). */
 struct OccupancySample
@@ -59,11 +42,14 @@ struct OccupancySample
 /**
  * A BTB organization over a two-level hierarchy.
  *
- * Protocol per access: beginAccess(pc) once, then step(pc) for successive
- * PCs along the (actual) path. When a tracked branch is predicted taken
- * and its prediction verified correct, PcGen either ends the access or —
- * if the view had @c follow set — calls chainTaken() to continue the same
- * access at the target (MB-BTB multi-block supply, I-BTB Skp).
+ * Protocol per access: beginAccess(pc, bundle) once; the frontend then
+ * walks the bundle inline with PredictionBundle::probe() for successive
+ * PCs along the (actual) path — no virtual dispatch per instruction.
+ * When a tracked branch with @c follow is predicted taken and verified
+ * correct, the walker follows a recorded continuation segment (MB-BTB
+ * multi-block supply) or calls chainAccess() to extend the window at the
+ * dynamic target (I-BTB Skp). When the walk ends, endAccess() commits
+ * any side effects the organization deferred (bundle.wants_end_access).
  *
  * update() is called for every actual branch instruction in program order
  * (immediate update, per Section 4.1).
@@ -73,18 +59,32 @@ class BtbOrg
   public:
     virtual ~BtbOrg() = default;
 
-    /** Start an access at @p pc. @return hit level (0 = miss, 1, 2). */
-    virtual int beginAccess(Addr pc) = 0;
-
-    /** Query the current access about @p pc. */
-    virtual StepView step(Addr pc) = 0;
+    /**
+     * Start an access at @p pc, filling @p b (a fresh, default-constructed
+     * bundle) with the window and its branch slots.
+     * @return hit level (0 = miss, 1, 2).
+     */
+    virtual int beginAccess(Addr pc, PredictionBundle &b) = 0;
 
     /**
-     * Continue the current access across the taken tracked branch at
-     * @p pc toward @p target. @return true if the access keeps supplying
-     * PCs at @p target (no new access, no bubble).
+     * Extend the current access across the correct-taken branch at @p pc
+     * toward @p target by re-filling @p b (only called when the bundle
+     * has @c dynamic_chain set and no recorded continuation matches).
+     * @return true if the access keeps supplying PCs at @p target.
      */
-    virtual bool chainTaken(Addr pc, Addr target) = 0;
+    virtual bool
+    chainAccess(Addr pc, Addr target, PredictionBundle &b)
+    {
+        (void)pc;
+        (void)target;
+        (void)b;
+        return false;
+    }
+
+    /** Commit side effects deferred during the walk (only called when the
+     *  bundle has @c wants_end_access set). Runs after the last probe and
+     *  before any update() of the access's branches. */
+    virtual void endAccess(PredictionBundle &b) { (void)b; }
 
     /**
      * Train with the actual branch @p br. @p resteer is true when the
@@ -240,6 +240,29 @@ class TwoLevelTable
 
 /** Construct the organization described by @p cfg. */
 std::unique_ptr<BtbOrg> makeBtb(const BtbConfig &cfg);
+
+// ---- PredictionBundle walk hooks (need the complete BtbOrg) ---------------
+
+inline bool
+PredictionBundle::chain(BtbOrg &org, Addr pc, Addr target)
+{
+    if (cur_seg + 1 < n_segments && segments[cur_seg + 1].start == target) {
+        // Recorded continuation: the entry chained this block (MB-BTB).
+        ++cur_seg;
+        ++org.stats["chained_blocks"];
+        return true;
+    }
+    if (dynamic_chain)
+        return org.chainAccess(pc, target, *this);
+    return false;
+}
+
+inline void
+PredictionBundle::finish(BtbOrg &org)
+{
+    if (wants_end_access)
+        org.endAccess(*this);
+}
 
 } // namespace btbsim
 

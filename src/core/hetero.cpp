@@ -70,52 +70,21 @@ HeteroBtb::synthesizeFromL2(Addr start)
 }
 
 int
-HeteroBtb::beginAccess(Addr pc)
+HeteroBtb::beginAccess(Addr pc, PredictionBundle &b)
 {
     ++stats["accesses"];
-    block_start_ = pc;
-    if ((entry_ = l1_.find(pc))) {
-        level_ = 1;
-    } else if ((entry_ = synthesizeFromL2(pc))) {
-        level_ = 2;
-    } else {
-        entry_ = nullptr;
-        level_ = 0;
-    }
-    window_end_ = pc + (entry_ ? entry_->end_bytes : reachBytes());
-    return level_;
-}
-
-StepView
-HeteroBtb::step(Addr pc)
-{
-    StepView v;
-    if (pc < block_start_ || pc >= window_end_)
-        return v; // kEndOfWindow
-
-    v.kind = StepView::Kind::kSequential;
-    if (!entry_)
-        return v;
-    const auto offset = static_cast<std::uint32_t>(pc - block_start_);
-    for (Slot &s : entry_->slots) {
-        if (s.offset == offset) {
-            v.kind = StepView::Kind::kBranch;
-            v.type = s.type;
-            v.target = s.target;
-            v.level = level_;
-            s.tick = ++tick_;
-            return v;
-        }
-    }
-    return v;
-}
-
-bool
-HeteroBtb::chainTaken(Addr pc, Addr target)
-{
-    (void)pc;
-    (void)target;
-    return false;
+    BlockEntry *entry = nullptr;
+    int level = 0;
+    if ((entry = l1_.find(pc)))
+        level = 1;
+    else if ((entry = synthesizeFromL2(pc)))
+        level = 2;
+    b.tick_counter = &tick_;
+    b.addSegment(pc, pc + (entry ? entry->end_bytes : reachBytes()));
+    if (entry)
+        for (Slot &s : entry->slots)
+            b.addSlot(0, pc + s.offset, s.type, s.target, level, &s.tick);
+    return level; // BlockEntry slots are kept offset-sorted.
 }
 
 void

@@ -26,9 +26,7 @@ class HeteroBtb : public BtbOrg
   public:
     explicit HeteroBtb(const BtbConfig &cfg);
 
-    int beginAccess(Addr pc) override;
-    StepView step(Addr pc) override;
-    bool chainTaken(Addr pc, Addr target) override;
+    int beginAccess(Addr pc, PredictionBundle &b) override;
     void update(const Instruction &br, bool resteer) override;
     void prefill(const Instruction &br) override;
     OccupancySample sampleOccupancy() const override;
@@ -64,12 +62,6 @@ class HeteroBtb : public BtbOrg
     SetAssocTable<BlockEntry> l1_;
     SetAssocTable<RegionEntry> l2_;
     std::uint64_t tick_ = 0;
-
-    // Access state.
-    BlockEntry *entry_ = nullptr;
-    int level_ = 0;
-    Addr block_start_ = 0;
-    Addr window_end_ = 0;
 
     // Update-side cursor (start of the dynamic block being trained).
     Addr cur_block_ = 0;

@@ -21,9 +21,9 @@ class InstructionBtb : public BtbOrg
   public:
     explicit InstructionBtb(const BtbConfig &cfg);
 
-    int beginAccess(Addr pc) override;
-    StepView step(Addr pc) override;
-    bool chainTaken(Addr pc, Addr target) override;
+    int beginAccess(Addr pc, PredictionBundle &b) override;
+    bool chainAccess(Addr pc, Addr target, PredictionBundle &b) override;
+    void endAccess(PredictionBundle &b) override;
     void update(const Instruction &br, bool resteer) override;
     void prefill(const Instruction &br) override;
     OccupancySample sampleOccupancy() const override;
@@ -39,7 +39,8 @@ class InstructionBtb : public BtbOrg
     BtbConfig cfg_;
     TwoLevelTable<Entry> table_;
 
-    unsigned supplied_ = 0; ///< Fetch PCs supplied by the current access.
+    void fillWindow(Addr start, unsigned count, PredictionBundle &b);
+    void commitProbed(PredictionBundle &b);
 };
 
 } // namespace btbsim

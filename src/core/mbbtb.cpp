@@ -50,66 +50,30 @@ MultiBlockBtb::sortSlots(Entry &e)
 // ---- access protocol -------------------------------------------------------
 
 int
-MultiBlockBtb::beginAccess(Addr pc)
+MultiBlockBtb::beginAccess(Addr pc, PredictionBundle &b)
 {
     ++stats["accesses"];
     auto [e, lvl] = table_.lookup(pc);
-    entry_ = e;
-    level_ = lvl;
-    access_start_ = pc;
-    acc_blk_ = 0;
-    acc_block_start_ = pc;
-    return lvl;
-}
-
-StepView
-MultiBlockBtb::step(Addr pc)
-{
-    StepView v;
-    if (!entry_) {
-        if (pc < access_start_ || pc >= access_start_ + reachBytes())
-            return v; // kEndOfWindow
-        v.kind = StepView::Kind::kSequential;
-        return v;
+    b.tick_counter = &tick_;
+    if (!e) {
+        b.addSegment(pc, pc + reachBytes());
+        return lvl;
     }
-
-    const Block &blk = entry_->blocks[acc_blk_];
-    if (pc < acc_block_start_ || pc >= acc_block_start_ + blk.len)
-        return v; // kEndOfWindow
-
-    v.kind = StepView::Kind::kSequential;
-    const auto offset = static_cast<std::uint32_t>(pc - acc_block_start_);
-    if (Slot *s = findSlot(*entry_, acc_blk_, offset)) {
-        v.kind = StepView::Kind::kBranch;
-        v.type = s->type;
-        v.target = s->target;
-        v.level = level_;
-        v.follow = s->follow;
+    // One segment per chained block: segments past the first are the
+    // entry's continuation records, entered only through chain() on a
+    // correct-taken @c follow branch.
+    for (const Block &blk : e->blocks)
+        b.addSegment(blk.start, blk.start + blk.len);
+    for (Slot &s : e->slots) {
+        if (s.blk >= e->blocks.size() ||
+            s.offset >= e->blocks[s.blk].len)
+            continue; // Beyond a truncated block: unreachable by the walk.
         // A pulled slot replaced its fall-through with the target block,
         // so a not-taken prediction must end the access (Section 6.4.1).
-        v.end_on_not_taken = s->follow;
-        s->tick = ++tick_;
+        b.addSlot(s.blk, e->blocks[s.blk].start + s.offset, s.type,
+                  s.target, lvl, &s.tick, s.follow, s.follow);
     }
-    return v;
-}
-
-bool
-MultiBlockBtb::chainTaken(Addr pc, Addr target)
-{
-    if (!entry_)
-        return false;
-    const auto offset = static_cast<std::uint32_t>(pc - acc_block_start_);
-    Slot *s = findSlot(*entry_, acc_blk_, offset);
-    if (!s || !s->follow)
-        return false;
-    if (acc_blk_ + 1 >= entry_->blocks.size())
-        return false;
-    if (entry_->blocks[acc_blk_ + 1].start != target)
-        return false;
-    ++acc_blk_;
-    acc_block_start_ = target;
-    ++stats["chained_blocks"];
-    return true;
+    return lvl; // Entry slots are kept (blk, offset)-sorted.
 }
 
 // ---- pull / downgrade machinery --------------------------------------------

@@ -30,9 +30,7 @@ class MultiBlockBtb : public BtbOrg
   public:
     explicit MultiBlockBtb(const BtbConfig &cfg);
 
-    int beginAccess(Addr pc) override;
-    StepView step(Addr pc) override;
-    bool chainTaken(Addr pc, Addr target) override;
+    int beginAccess(Addr pc, PredictionBundle &b) override;
     void update(const Instruction &br, bool resteer) override;
     OccupancySample sampleOccupancy() const override;
     const BtbConfig &config() const override { return cfg_; }
@@ -64,13 +62,6 @@ class MultiBlockBtb : public BtbOrg
     BtbConfig cfg_;
     TwoLevelTable<Entry> table_;
     std::uint64_t tick_ = 0;
-
-    // Current access state.
-    Entry *entry_ = nullptr;
-    int level_ = 0;
-    Addr access_start_ = 0;
-    unsigned acc_blk_ = 0;
-    Addr acc_block_start_ = 0;
 
     // Update-side cursor.
     bool cur_valid_ = false;

@@ -9,71 +9,42 @@ RegionBtb::RegionBtb(const BtbConfig &cfg)
     : cfg_(cfg), table_(cfg, log2i(cfg.region_bytes))
 {}
 
+void
+RegionBtb::bundleSlots(PredictionBundle &b, Entry &e, Addr base, int level)
+{
+    for (Slot &s : e.slots)
+        if (s.type != BranchClass::kNone)
+            b.addSlot(0, base + s.offset, s.type, s.target, level, &s.tick);
+}
+
 int
-RegionBtb::beginAccess(Addr pc)
+RegionBtb::beginAccess(Addr pc, PredictionBundle &b)
 {
     ++stats["accesses"];
-    region0_ = regionBase(pc);
-    window_end_ = region0_ + cfg_.region_bytes;
-    entry1_ = nullptr;
-    level1_ = 0;
+    const Addr region0 = regionBase(pc);
+    Addr window_end = region0 + cfg_.region_bytes;
 
-    auto [e0, lvl0] = table_.lookup(region0_);
-    entry0_ = e0;
-    level0_ = lvl0;
+    auto [e0, lvl0] = table_.lookup(region0);
 
+    Entry *entry1 = nullptr;
     if (cfg_.dual_region) {
         // The interleaved L1 can serve the next sequential region in the
         // same cycle, but only on an L1 hit (the L2 is not interleaved).
-        const Addr region1 = region0_ + cfg_.region_bytes;
+        const Addr region1 = region0 + cfg_.region_bytes;
         if (Entry *e1 = table_.l1().find(region1)) {
-            entry1_ = e1;
-            level1_ = 1;
-            window_end_ = region1 + cfg_.region_bytes;
+            entry1 = e1;
+            window_end = region1 + cfg_.region_bytes;
         }
     }
-    return level0_;
-}
 
-StepView
-RegionBtb::step(Addr pc)
-{
-    StepView v;
-    if (pc < region0_ || pc >= window_end_)
-        return v; // kEndOfWindow
-
-    Entry *e = entry0_;
-    int level = level0_;
-    if (pc >= region0_ + cfg_.region_bytes) {
-        e = entry1_;
-        level = level1_;
-    }
-
-    v.kind = StepView::Kind::kSequential;
-    if (!e)
-        return v;
-
-    const auto offset =
-        static_cast<std::uint32_t>(pc - alignDown(pc, cfg_.region_bytes));
-    for (Slot &s : e->slots) {
-        if (s.offset == offset && s.type != BranchClass::kNone) {
-            v.kind = StepView::Kind::kBranch;
-            v.type = s.type;
-            v.target = s.target;
-            v.level = level;
-            s.tick = ++tick_;
-            return v;
-        }
-    }
-    return v;
-}
-
-bool
-RegionBtb::chainTaken(Addr pc, Addr target)
-{
-    (void)pc;
-    (void)target;
-    return false; // R-BTB never supplies PCs across a taken branch.
+    b.tick_counter = &tick_;
+    b.addSegment(region0, window_end);
+    if (e0)
+        bundleSlots(b, *e0, region0, lvl0);
+    if (entry1)
+        bundleSlots(b, *entry1, region0 + cfg_.region_bytes, 1);
+    b.sortSlots(); // Entry slot vectors are not offset-sorted.
+    return lvl0;
 }
 
 void

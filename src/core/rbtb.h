@@ -22,9 +22,7 @@ class RegionBtb : public BtbOrg
   public:
     explicit RegionBtb(const BtbConfig &cfg);
 
-    int beginAccess(Addr pc) override;
-    StepView step(Addr pc) override;
-    bool chainTaken(Addr pc, Addr target) override;
+    int beginAccess(Addr pc, PredictionBundle &b) override;
     void update(const Instruction &br, bool resteer) override;
     void prefill(const Instruction &br) override;
     OccupancySample sampleOccupancy() const override;
@@ -48,16 +46,9 @@ class RegionBtb : public BtbOrg
     TwoLevelTable<Entry> table_;
     std::uint64_t tick_ = 0;
 
-    // Current access window.
-    Addr region0_ = 0;
-    Addr window_end_ = 0;
-    Entry *entry0_ = nullptr;
-    Entry *entry1_ = nullptr; ///< Second region (dual_region only).
-    int level0_ = 0;
-    int level1_ = 0;
-
     Addr regionBase(Addr pc) const { return alignDown(pc, cfg_.region_bytes); }
 
+    void bundleSlots(PredictionBundle &b, Entry &e, Addr base, int level);
     void applySlotUpdate(const Instruction &br);
 };
 

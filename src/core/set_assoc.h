@@ -48,6 +48,20 @@ class SetAssocTable
     unsigned ways() const { return ways_; }
     std::size_t capacity() const { return array_.size(); }
 
+    /** Set index @p key maps to (external residency modeling). */
+    std::size_t
+    setIndex(Addr key) const
+    {
+        return static_cast<std::size_t>((key >> shift_) % sets_);
+    }
+
+    /** Read-only view of the ways() ways of set @p index. */
+    const Way *
+    setWays(std::size_t index) const
+    {
+        return &array_[index * ways_];
+    }
+
     /** Find the entry for @p key; returns nullptr on miss. Touches LRU. */
     Entry *
     find(Addr key)
@@ -146,7 +160,7 @@ class SetAssocTable
     std::size_t
     setBase(Addr key) const
     {
-        return (static_cast<std::size_t>((key >> shift_) % sets_)) * ways_;
+        return setIndex(key) * ways_;
     }
 
     Way *

@@ -24,7 +24,8 @@ PcGen::runCycle(Cycle now)
     }
 
     const bool bypass = ftq_->empty();
-    const int level0 = org_->beginAccess(next_fetch_pc_);
+    PredictionBundle bundle;
+    const int level0 = org_->beginAccess(next_fetch_pc_, bundle);
     if (tracer_ && level0 == 0)
         tracer_->record(now, obs::TraceEventType::kBtbMiss, next_fetch_pc_);
     ++stats.accesses;
@@ -38,7 +39,7 @@ PcGen::runCycle(Cycle now)
         assert(pending_.pc == next_fetch_pc_ &&
                "frontend cursor diverged from trace");
 
-        const StepView v = org_->step(pending_.pc);
+        const StepView v = bundle.probe(pending_.pc);
         if (v.kind == StepView::Kind::kEndOfWindow)
             break; // Next access continues sequentially, no bubble.
 
@@ -155,7 +156,7 @@ PcGen::runCycle(Cycle now)
                    predicted_target == in.next_pc) {
             // Correct taken prediction.
             deferred_updates_.emplace_back(in, false);
-            if (v.follow && org_->chainTaken(in.pc, in.next_pc)) {
+            if (v.follow && bundle.chain(*org_, in.pc, in.next_pc)) {
                 chained = true; // Same access continues at the target.
             } else {
                 end_bundle = true;
@@ -242,6 +243,10 @@ PcGen::runCycle(Cycle now)
             break;
         }
     }
+
+    // End of walk: let the organization commit side effects it deferred
+    // during the access (must precede the updates below).
+    bundle.finish(*org_);
 
     stats.taken_bubbles += bubbles;
     ready_cycle_ = now + 1 + bubbles;

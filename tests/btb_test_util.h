@@ -21,21 +21,24 @@ branchAt(Addr pc, BranchClass cls, Addr target, bool taken = true)
     return in;
 }
 
-/** Walk an access from @p pc, returning the view at each step until the
- *  window ends or @p max steps were taken. */
+/** Walk an access from @p pc, returning the view at each probe until the
+ *  window ends or @p max probes were made. Ends the access (finish) so
+ *  deferred side effects commit, as the frontend walker would. */
 inline std::vector<StepView>
 walk(BtbOrg &org, Addr pc, unsigned max = 64)
 {
     std::vector<StepView> views;
-    org.beginAccess(pc);
+    PredictionBundle b;
+    org.beginAccess(pc, b);
     Addr cur = pc;
     for (unsigned i = 0; i < max; ++i) {
-        StepView v = org.step(cur);
+        StepView v = b.probe(cur);
         if (v.kind == StepView::Kind::kEndOfWindow)
             break;
         views.push_back(v);
         cur += kInstBytes;
     }
+    b.finish(org);
     return views;
 }
 
@@ -43,13 +46,16 @@ walk(BtbOrg &org, Addr pc, unsigned max = 64)
 inline StepView
 viewAt(BtbOrg &org, Addr start, Addr pc)
 {
-    org.beginAccess(start);
-    for (Addr cur = start; cur < pc; cur += kInstBytes) {
-        StepView v = org.step(cur);
+    PredictionBundle b;
+    org.beginAccess(start, b);
+    StepView v;
+    for (Addr cur = start; cur <= pc; cur += kInstBytes) {
+        v = b.probe(cur);
         if (v.kind == StepView::Kind::kEndOfWindow)
-            return v;
+            break;
     }
-    return org.step(pc);
+    b.finish(org);
+    return v;
 }
 
 } // namespace btbsim::test

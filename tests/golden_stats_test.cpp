@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Behavior-preservation regression test for the BTB↔frontend protocol.
+ *
+ * Runs every organization (plus the protocol edge cases: I-BTB Skp
+ * chaining, dual-region R-BTB, B-BTB splitting, MB-BTB pulled slots with
+ * end-on-not-taken and chain seams, ideal mode) over a fixed synthetic
+ * workload and digests the integral SimStats counters with SHA-256. The
+ * digests below were captured from the pre-bundle step()/chainTaken()
+ * protocol; the PredictionBundle walker must reproduce them bit for bit.
+ *
+ * On mismatch the test prints the full counter dump so the diverging
+ * counter is immediately visible. Regenerate a golden only for a change
+ * that is *supposed* to alter simulated behavior — never for a refactor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "exp/sha256.h"
+#include "sim/cpu.h"
+#include "trace/generator.h"
+#include "trace/synthetic_trace.h"
+
+using namespace btbsim;
+
+namespace {
+
+constexpr std::uint64_t kWarmup = 20'000;
+constexpr std::uint64_t kMeasure = 120'000;
+
+const Program &
+goldenProgram()
+{
+    static const Program prog = [] {
+        GenParams p;
+        p.seed = 0xB7B5EED;
+        p.target_static_insts = 96 * 1024;
+        p.num_handlers = 12;
+        return generateProgram(p);
+    }();
+    return prog;
+}
+
+/**
+ * Canonical serialization of the run's integral counters. Doubles that
+ * are not integral (e.g. the FTQ occupancy running mean) are excluded so
+ * the digest stays stable across compilers and optimization levels;
+ * every protocol-relevant statistic is an integer count.
+ */
+std::string
+canonicalCounters(const SimStats &s)
+{
+    std::string out;
+    out += "instructions=" + std::to_string(s.instructions) + "\n";
+    out += "cycles=" + std::to_string(s.cycles) + "\n";
+    for (const auto &[key, value] : s.counters) {
+        if (std::nearbyint(value) != value)
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        out += key;
+        out += "=";
+        out += buf;
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+runDigest(const BtbConfig &btb)
+{
+    CpuConfig cfg;
+    cfg.btb = btb;
+    SyntheticTrace trace(goldenProgram(), 7);
+    Cpu cpu(cfg, trace);
+    cpu.run(kWarmup, kMeasure);
+    return exp::Sha256::hexDigest(canonicalCounters(cpu.stats()));
+}
+
+void
+expectGolden(const BtbConfig &btb, const std::string &golden)
+{
+    CpuConfig cfg;
+    cfg.btb = btb;
+    SyntheticTrace trace(goldenProgram(), 7);
+    Cpu cpu(cfg, trace);
+    cpu.run(kWarmup, kMeasure);
+    const std::string canon = canonicalCounters(cpu.stats());
+    const std::string digest = exp::Sha256::hexDigest(canon);
+    EXPECT_EQ(digest, golden)
+        << "SimStats diverged for " << btb.name() << "\n"
+        << "counter dump:\n"
+        << canon;
+}
+
+} // namespace
+
+TEST(GoldenStats, InstructionBtb)
+{
+    expectGolden(BtbConfig::ibtb(16), "0c9ec7760d28f0ab6d1ad55ebe5698519c1892f7f2b3797b14797692d02c1138");
+}
+
+TEST(GoldenStats, InstructionBtbSkip)
+{
+    expectGolden(BtbConfig::ibtb(16, /*skip=*/true), "e5dfef3d24bab47eb531ac7f9237c7ddf73e509819d135b447389875798709f0");
+}
+
+TEST(GoldenStats, InstructionBtbIdeal)
+{
+    BtbConfig c = BtbConfig::ibtb(16);
+    c.makeIdeal();
+    expectGolden(c, "404410eee2c131060c7c17258eb9bd256cc0ab14406166d8f43c6b2e66c0f016");
+}
+
+TEST(GoldenStats, RegionBtb)
+{
+    expectGolden(BtbConfig::rbtb(3), "e65578889b508987aa3111d06a7f1660b11aa8e88976953b870467223547a183");
+}
+
+TEST(GoldenStats, RegionBtbDual)
+{
+    expectGolden(BtbConfig::rbtb(2, 64, /*dual=*/true), "7e5969e6f90bbd122609d2fba1bebfffb3d5358823ab5244fc5ede2db8020879");
+}
+
+TEST(GoldenStats, BlockBtb)
+{
+    expectGolden(BtbConfig::bbtb(2), "0d4186b21ec1c9cc92de8c039b520b6a8ec3e9bdcef2d57ed03a5a1b94adf0de");
+}
+
+TEST(GoldenStats, BlockBtbSplit)
+{
+    expectGolden(BtbConfig::bbtb(1, /*split=*/true), "cfc4f36d6a5231c037ae13ffacd47e7d2facd179b927f34f68772dfe9619445e");
+}
+
+TEST(GoldenStats, MultiBlockBtbAllBr)
+{
+    expectGolden(BtbConfig::mbbtb(3, PullPolicy::kAllBr), "30358f709265c666fa32e68014beb1f39faf5b7d26cc7ed6d51cf8d6148ccf78");
+}
+
+TEST(GoldenStats, MultiBlockBtbCallDir32)
+{
+    expectGolden(BtbConfig::mbbtb(2, PullPolicy::kCallDir, 32),
+                 "b16f8ea7909183d95364cc3d340ff5c0d6b9c58a9b8bc1f6308787060c76a789");
+}
+
+TEST(GoldenStats, HeteroBtb)
+{
+    expectGolden(BtbConfig::hetero(2, /*split=*/true), "915e3f03dfbab451c1de96299165510e1e5469a52e65063bb986aae473e2c5b0");
+}
+
+/** Utility: prints every golden digest (run with --gtest_also_run_disabled_tests
+ *  to regenerate after an intentional behavior change). */
+TEST(GoldenStats, DISABLED_PrintDigests)
+{
+    std::printf("IBTB16          %s\n", runDigest(BtbConfig::ibtb(16)).c_str());
+    std::printf("IBTB16SKP       %s\n",
+                runDigest(BtbConfig::ibtb(16, true)).c_str());
+    BtbConfig ideal = BtbConfig::ibtb(16);
+    ideal.makeIdeal();
+    std::printf("IBTB16IDEAL     %s\n", runDigest(ideal).c_str());
+    std::printf("RBTB3           %s\n", runDigest(BtbConfig::rbtb(3)).c_str());
+    std::printf("RBTB2DUAL       %s\n",
+                runDigest(BtbConfig::rbtb(2, 64, true)).c_str());
+    std::printf("BBTB2           %s\n", runDigest(BtbConfig::bbtb(2)).c_str());
+    std::printf("BBTB1SPLIT      %s\n",
+                runDigest(BtbConfig::bbtb(1, true)).c_str());
+    std::printf("MBBTB3ALLBR     %s\n",
+                runDigest(BtbConfig::mbbtb(3, PullPolicy::kAllBr)).c_str());
+    std::printf("MBBTB2CALLDIR32 %s\n",
+                runDigest(BtbConfig::mbbtb(2, PullPolicy::kCallDir, 32)).c_str());
+    std::printf("HETERO2         %s\n",
+                runDigest(BtbConfig::hetero(2, true)).c_str());
+}

@@ -65,23 +65,27 @@ TEST(Ibtb, SkipModeChainsAcrossTaken)
 {
     auto btb = makeIbtb(16, true);
     btb->update(branchAt(0x1000, BranchClass::kUncondDirect, 0x2000), false);
-    btb->beginAccess(0x1000);
-    StepView v = btb->step(0x1000);
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    StepView v = b.probe(0x1000);
     ASSERT_EQ(v.kind, StepView::Kind::kBranch);
     EXPECT_TRUE(v.follow);
-    EXPECT_TRUE(btb->chainTaken(0x1000, 0x2000));
+    EXPECT_TRUE(b.chain(*btb, 0x1000, 0x2000));
     // The access continues at the target.
-    EXPECT_EQ(btb->step(0x2000).kind, StepView::Kind::kSequential);
+    EXPECT_EQ(b.probe(0x2000).kind, StepView::Kind::kSequential);
+    b.finish(*btb);
 }
 
 TEST(Ibtb, NonSkipModeDoesNotChain)
 {
     auto btb = makeIbtb(16, false);
     btb->update(branchAt(0x1000, BranchClass::kUncondDirect, 0x2000), false);
-    btb->beginAccess(0x1000);
-    StepView v = btb->step(0x1000);
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    StepView v = b.probe(0x1000);
     EXPECT_FALSE(v.follow);
-    EXPECT_FALSE(btb->chainTaken(0x1000, 0x2000));
+    EXPECT_FALSE(b.chain(*btb, 0x1000, 0x2000));
+    b.finish(*btb);
 }
 
 TEST(Ibtb, SkipModeStillBoundedByWidth)
@@ -116,6 +120,36 @@ TEST(Ibtb, L2HitReportedAndFillsL1)
     // The fill promoted it: a second access hits L1.
     v = viewAt(*btb, 0x1000, 0x1000);
     EXPECT_EQ(v.level, 1);
+}
+
+TEST(Ibtb, CollidingWindowReportsProbeTimeLevels)
+{
+    // 1-entry L1: the first slot's deferred L2->L1 fill evicts the second
+    // slot's entry, so both probes must report an L2 hit even though the
+    // second entry was still L1-resident when the access began (the
+    // ShadowL1 overlay mirrors the eviction at fill time).
+    BtbConfig cfg = BtbConfig::ibtb(4);
+    cfg.l1 = {1, 1};
+    cfg.l2 = {16, 4};
+    auto btb = makeBtb(cfg);
+    btb->update(branchAt(0x1000, BranchClass::kCondDirect, 0x2000), false);
+    btb->update(branchAt(0x1008, BranchClass::kCondDirect, 0x3000), false);
+
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    StepView first = b.probe(0x1000);
+    (void)b.probe(0x1004);
+    StepView second = b.probe(0x1008);
+    b.finish(*btb);
+    ASSERT_EQ(first.kind, StepView::Kind::kBranch);
+    EXPECT_EQ(first.level, 2);
+    ASSERT_EQ(second.kind, StepView::Kind::kBranch);
+    EXPECT_EQ(second.level, 2);
+
+    // The replayed lookups really promoted both; the last fill won the
+    // single L1 way, so the second branch now hits L1.
+    StepView again = viewAt(*btb, 0x1008, 0x1008);
+    EXPECT_EQ(again.level, 1);
 }
 
 TEST(Ibtb, IdealSingleLevelNeverReportsL2)

@@ -34,14 +34,15 @@ TEST(Mbbtb, UncondDirPullsTargetBlock)
     EXPECT_EQ(btb->stats.get("pulls"), 1u);
 
     // One access supplies block 0 and chains into the pulled block.
-    btb->beginAccess(0x1000);
-    btb->step(0x1000);
-    btb->step(0x1004);
-    StepView v = btb->step(0x1008);
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    b.probe(0x1000);
+    b.probe(0x1004);
+    StepView v = b.probe(0x1008);
     ASSERT_EQ(v.kind, StepView::Kind::kBranch);
     EXPECT_TRUE(v.follow);
-    ASSERT_TRUE(btb->chainTaken(0x1008, 0x2000));
-    EXPECT_EQ(btb->step(0x2000).kind, StepView::Kind::kSequential);
+    ASSERT_TRUE(b.chain(*btb, 0x1008, 0x2000));
+    EXPECT_EQ(b.probe(0x2000).kind, StepView::Kind::kSequential);
 }
 
 TEST(Mbbtb, UncondDirDoesNotPullCalls)
@@ -148,13 +149,14 @@ TEST(Mbbtb, DowngradeOnNotTakenConditional)
                 false);
     EXPECT_EQ(btb->stats.get("downgrades"), 1u);
     // The slot remains as a normal conditional; no follow.
-    btb->beginAccess(0x1000);
-    btb->step(0x1000);
-    StepView v = btb->step(0x1004);
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    b.probe(0x1000);
+    StepView v = b.probe(0x1004);
     ASSERT_EQ(v.kind, StepView::Kind::kBranch);
     EXPECT_FALSE(v.follow);
     // And the block coverage extends past the branch again.
-    EXPECT_EQ(btb->step(0x1008).kind, StepView::Kind::kSequential);
+    EXPECT_EQ(b.probe(0x1008).kind, StepView::Kind::kSequential);
 }
 
 TEST(Mbbtb, PulledSlotEndsAccessOnNotTakenPrediction)
@@ -162,9 +164,10 @@ TEST(Mbbtb, PulledSlotEndsAccessOnNotTakenPrediction)
     auto btb = makeMb(2, PullPolicy::kAllBr);
     redirectTo(*btb, 0x1000);
     btb->update(branchAt(0x1004, BranchClass::kCondDirect, 0x2000), false);
-    btb->beginAccess(0x1000);
-    btb->step(0x1000);
-    StepView v = btb->step(0x1004);
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    b.probe(0x1000);
+    StepView v = b.probe(0x1004);
     ASSERT_EQ(v.kind, StepView::Kind::kBranch);
     EXPECT_TRUE(v.end_on_not_taken);
 }
@@ -180,14 +183,16 @@ TEST(Mbbtb, ChainsMultipleBlocks)
     btb->update(branchAt(0x2004, BranchClass::kUncondDirect, 0x3000), false);
     EXPECT_EQ(btb->stats.get("pulls"), 2u);
 
-    btb->beginAccess(0x1000);
-    btb->step(0x1000);
-    ASSERT_TRUE(btb->chainTaken(0x1004, 0x2000));
-    btb->step(0x2000);
-    StepView v = btb->step(0x2004);
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    b.probe(0x1000);
+    b.probe(0x1004);
+    ASSERT_TRUE(b.chain(*btb, 0x1004, 0x2000));
+    b.probe(0x2000);
+    StepView v = b.probe(0x2004);
     ASSERT_EQ(v.kind, StepView::Kind::kBranch);
-    ASSERT_TRUE(btb->chainTaken(0x2004, 0x3000));
-    EXPECT_EQ(btb->step(0x3000).kind, StepView::Kind::kSequential);
+    ASSERT_TRUE(b.chain(*btb, 0x2004, 0x3000));
+    EXPECT_EQ(b.probe(0x3000).kind, StepView::Kind::kSequential);
     EXPECT_EQ(btb->stats.get("chained_blocks"), 2u);
 }
 

@@ -81,9 +81,10 @@ TEST(Rbtb, NeverChainsTaken)
 {
     auto btb = makeRbtb(2);
     btb->update(branchAt(0x1000, BranchClass::kUncondDirect, 0x2000), false);
-    btb->beginAccess(0x1000);
-    btb->step(0x1000);
-    EXPECT_FALSE(btb->chainTaken(0x1000, 0x2000));
+    PredictionBundle b;
+    btb->beginAccess(0x1000, b);
+    b.probe(0x1000);
+    EXPECT_FALSE(b.chain(*btb, 0x1000, 0x2000));
 }
 
 TEST(Rbtb, DualRegionExtendsWindowOnL1Hit)
