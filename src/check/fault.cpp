@@ -1,0 +1,18 @@
+#include "check/fault.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace btbsim::check {
+
+bool
+faultArmed(const char *point)
+{
+    // Re-read the environment on every call: fault points exist only in
+    // validation builds, where tests arm different points in turn within
+    // one process. The getenv cost on the update path is irrelevant there.
+    const char *armed = std::getenv("BTBSIM_FAULT");
+    return armed && std::strcmp(armed, point) == 0;
+}
+
+} // namespace btbsim::check

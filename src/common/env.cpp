@@ -41,6 +41,13 @@ knobs()
          "0/empty disables."},
         {"BTBSIM_CSV_OUT", "",
          "Per-run CSV: same semantics as BTBSIM_JSON_OUT."},
+        // check/checker + check/fault
+        {"BTBSIM_CHECK", "0",
+         "Non-0 wraps every BTB in the differential checker (reference "
+         "model + structural invariants; aborts on divergence)."},
+        {"BTBSIM_FAULT", "",
+         "Name of the fault point to arm (builds configured with "
+         "-DBTBSIM_FAULT_POINTS=ON only); empty disables."},
         // traceio/trace_reader
         {"BTBSIM_REPLAY_MMAP", "1",
          "0 = buffered reads instead of mmap for .btbt replay."},

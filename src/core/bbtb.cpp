@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "check/fault.h"
+
 namespace btbsim {
 
 BlockBtb::BlockBtb(const BtbConfig &cfg)
@@ -62,6 +64,8 @@ BlockBtb::insertTaken(const Instruction &br)
         Addr target;
     };
     std::vector<Pending> work{{cur_block_, br.pc, br.branch, br.takenTarget()}};
+    BTBSIM_FAULT_POINT("bbtb_update_target",
+                       work.back().target = br.takenTarget() + kInstBytes);
 
     for (int guard = 0; guard < 64 && !work.empty(); ++guard) {
         Pending p = work.back();

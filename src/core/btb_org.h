@@ -107,6 +107,20 @@ class BtbOrg
 
     virtual const BtbConfig &config() const = 0;
 
+    /**
+     * Debug probe: the level (1 or 2) at which an entry keyed by @p key
+     * currently resides, 0 when absent, or -1 when the organization does
+     * not support the query. Must not disturb LRU or fill state — it
+     * exists for the differential checker (src/check/), never for the
+     * simulated machinery.
+     */
+    virtual int
+    peekLevel(Addr key) const
+    {
+        (void)key;
+        return -1;
+    }
+
     /** Bubbles charged when a taken branch was supplied by @p level. */
     unsigned
     takenPenalty(int level) const
@@ -118,6 +132,12 @@ class BtbOrg
 
     /// Occurrence counters (accesses, hits per level, etc.).
     StatSet stats;
+
+    /** Where bundle-walk helpers account their counters. Defaults to this
+     *  organization's own @c stats; a checking decorator points it at the
+     *  wrapped organization's set so harvested counters stay identical
+     *  with and without checking. */
+    StatSet *walk_stats = &stats;
 };
 
 /**
@@ -249,7 +269,7 @@ PredictionBundle::chain(BtbOrg &org, Addr pc, Addr target)
     if (cur_seg + 1 < n_segments && segments[cur_seg + 1].start == target) {
         // Recorded continuation: the entry chained this block (MB-BTB).
         ++cur_seg;
-        ++org.stats["chained_blocks"];
+        ++(*org.walk_stats)["chained_blocks"];
         return true;
     }
     if (dynamic_chain)

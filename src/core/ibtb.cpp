@@ -1,5 +1,7 @@
 #include "core/ibtb.h"
 
+#include "check/fault.h"
+
 namespace btbsim {
 
 namespace {
@@ -255,6 +257,8 @@ InstructionBtb::update(const Instruction &br, bool resteer)
             continue;
         e->type = br.branch;
         e->target = br.takenTarget();
+        BTBSIM_FAULT_POINT("ibtb_update_target",
+                           e->target = br.takenTarget() + kInstBytes);
     }
 }
 

@@ -29,6 +29,16 @@ class InstructionBtb : public BtbOrg
     OccupancySample sampleOccupancy() const override;
     const BtbConfig &config() const override { return cfg_; }
 
+    int
+    peekLevel(Addr key) const override
+    {
+        if (table_.l1().peek(key))
+            return 1;
+        if (!table_.ideal() && table_.l2().peek(key))
+            return 2;
+        return 0;
+    }
+
   private:
     struct Entry
     {

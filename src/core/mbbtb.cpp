@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "check/fault.h"
 #include "common/sat_counter.h"
 
 namespace btbsim {
@@ -129,6 +130,8 @@ MultiBlockBtb::doPull(Entry &e, Slot &slot)
     e.blocks[slot.blk].len = term;
     const std::uint32_t remaining = reachBytes() - (prefix + term);
     e.blocks.push_back({slot.target, remaining});
+    BTBSIM_FAULT_POINT("mbbtb_pull_seam",
+                       e.blocks.back().start = slot.target + kInstBytes);
     slot.follow = true;
     ++stats["pulls"];
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "check/fault.h"
+
 namespace btbsim {
 
 RegionBtb::RegionBtb(const BtbConfig &cfg)
@@ -85,6 +87,8 @@ RegionBtb::applySlotUpdate(const Instruction &br)
         hit->type = br.branch;
         hit->target = br.takenTarget();
         hit->tick = ++tick_;
+        BTBSIM_FAULT_POINT("rbtb_update_target",
+                           hit->target = br.takenTarget() + kInstBytes);
     }
     if (displaced)
         ++stats["slot_displacements"];

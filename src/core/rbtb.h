@@ -28,6 +28,17 @@ class RegionBtb : public BtbOrg
     OccupancySample sampleOccupancy() const override;
     const BtbConfig &config() const override { return cfg_; }
 
+    /** @p key is the region base address. */
+    int
+    peekLevel(Addr key) const override
+    {
+        if (table_.l1().peek(key))
+            return 1;
+        if (!table_.ideal() && table_.l2().peek(key))
+            return 2;
+        return 0;
+    }
+
   private:
     struct Slot
     {

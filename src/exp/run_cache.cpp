@@ -168,6 +168,10 @@ statsFromJson(const obs::JsonValue &v)
 std::string
 RunCache::dirFromEnv(const std::string &fallback_dir)
 {
+    // A checked run exists to exercise the simulation itself; serving it
+    // from (or polluting) the content-addressed cache would defeat it.
+    if (env::flag("BTBSIM_CHECK"))
+        return {};
     if (!env::isSet("BTBSIM_RUN_CACHE"))
         return fallback_dir;
     if (env::disabled("BTBSIM_RUN_CACHE"))

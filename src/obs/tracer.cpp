@@ -22,6 +22,8 @@ traceEventTypeName(TraceEventType t)
         return "ftq_stall";
       case TraceEventType::kBranchResolve:
         return "branch_resolve";
+      case TraceEventType::kCheckFail:
+        return "check_fail";
     }
     return "unknown";
 }

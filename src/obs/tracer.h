@@ -29,6 +29,7 @@ enum class TraceEventType : std::uint8_t {
     kBtbEvict,      ///< Entry displaced (when an organization reports it).
     kFtqStall,      ///< PC generation blocked on a full FTQ.
     kBranchResolve, ///< Execute-resolved branch consumed by the frontend.
+    kCheckFail,     ///< Differential checker divergence (src/check/).
 };
 
 /** Stable lowercase name used in the JSONL output. */

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "check/checker.h"
 #include "trace/program.h"
 
 namespace btbsim {
@@ -15,12 +16,18 @@ Cpu::Cpu(const CpuConfig &cfg, TraceSource &trace)
 Cpu::Cpu(const CpuConfig &cfg, TraceSource &trace,
          std::unique_ptr<BtbOrg> org)
     : cfg_(cfg), trace_(&trace), mem_(cfg.mem), bpred_(cfg.bpred),
-      org_(std::move(org)), ftq_(cfg.ftq_entries),
-      pcgen_(*org_, bpred_, trace, ftq_), backend_(cfg.backend, mem_)
+      org_(std::move(org)),
+      checked_(check::CheckedBtb::wrapFromEnv(*org_)),
+      btb_front_(checked_ ? static_cast<BtbOrg *>(checked_.get())
+                          : org_.get()),
+      ftq_(cfg.ftq_entries),
+      pcgen_(*btb_front_, bpred_, trace, ftq_), backend_(cfg.backend, mem_)
 {
     stats_.config = org_->config().name();
     stats_.workload = trace.name();
 }
+
+Cpu::~Cpu() = default;
 
 void
 Cpu::fetchIssue()
@@ -125,12 +132,16 @@ Cpu::attachTracer(obs::Tracer *tracer)
 {
     tracer_ = tracer;
     pcgen_.setTracer(tracer);
+    if (checked_)
+        checked_->setTracer(tracer);
 }
 
 void
 Cpu::step()
 {
     ++now_;
+    if (checked_)
+        checked_->setNow(now_);
     if (backend_.takeExecResteer(now_) != 0) {
         pcgen_.resteerResolved(now_);
         if (tracer_)
@@ -166,7 +177,9 @@ Cpu::predecodeLine(Addr line)
         br.branch = si.branch;
         br.taken = true;
         br.next_pc = prog->pcOf(si.target);
-        org_->prefill(br);
+        // Through the front pointer: the checker's training oracle must
+        // observe prefills or it would flag their values as untrained.
+        btb_front_->prefill(br);
     }
 }
 

@@ -25,6 +25,10 @@
 
 namespace btbsim {
 
+namespace check {
+class CheckedBtb;
+}
+
 /**
  * The simulated core. Construction wires BP stage (BTB + predictors),
  * FTQ, fetch, decode/allocate queues and the backend; run() executes a
@@ -42,6 +46,8 @@ class Cpu
      */
     Cpu(const CpuConfig &cfg, TraceSource &trace,
         std::unique_ptr<BtbOrg> org);
+
+    ~Cpu(); // Out of line: check::CheckedBtb is incomplete here.
 
     /**
      * Simulate until @p warmup + @p measure instructions commit;
@@ -87,6 +93,11 @@ class Cpu
     MemHier mem_;
     BPredUnit bpred_;
     std::unique_ptr<BtbOrg> org_;
+    /** Differential-checking wrapper, non-null only with BTBSIM_CHECK. */
+    std::unique_ptr<check::CheckedBtb> checked_;
+    /** What the frontend actually drives: the checker when enabled,
+     *  else the organization itself. */
+    BtbOrg *btb_front_;
     Ftq ftq_;
     PcGen pcgen_;
     Backend backend_;

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * btbsim-fuzz — property-based fuzzing of the BTB organizations under
+ * the differential checker (src/check/).
+ *
+ *   btbsim-fuzz run [--seed S] [--runs N] [--insts N] [--out DIR]
+ *                   [--time-budget SECONDS]
+ *       Generate seeded random configuration x program cases and walk
+ *       each through the checked bundle protocol. On the first failure,
+ *       shrink it and write DIR/fuzz-<seed>-min.btbt (+ .json config
+ *       sidecar), then exit 1. Seeds are S, S+1, ... so any failure is
+ *       reproducible from its reported seed alone.
+ *
+ *   btbsim-fuzz shrink REPRO.btbt [--out FILE.btbt]
+ *       Re-run a repro and shrink it further (idempotent on an already
+ *       minimal repro). Exit 0 when the repro still fails and was
+ *       (re)written, 3 when it no longer fails.
+ *
+ *   btbsim-fuzz replay REPRO.btbt
+ *       Run a repro once and print the checker report. Exit 1 when it
+ *       fails, 0 when it passes clean.
+ *
+ * Exit codes: 0 clean, 1 checker failure found, 2 usage or I/O error,
+ * 3 repro did not reproduce.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+
+namespace {
+
+using namespace btbsim;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btbsim-fuzz run [--seed S] [--runs N] [--insts N]\n"
+        "                       [--out DIR] [--time-budget SECONDS]\n"
+        "       btbsim-fuzz shrink REPRO.btbt [--out FILE.btbt]\n"
+        "       btbsim-fuzz replay REPRO.btbt\n");
+    return 2;
+}
+
+bool
+takeOption(std::vector<std::string> &args, const std::string &flag,
+           std::string &out)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            out = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+toU64(const std::string &s, std::uint64_t fallback)
+{
+    if (s.empty())
+        return fallback;
+    return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/** Shrink @p fail, report progress, and write the minimal repro. */
+void
+shrinkAndWrite(const check::FuzzCase &c, const check::FuzzFailure &fail,
+               const std::string &out_path)
+{
+    std::printf("shrinking %zu instructions...\n", c.insts.size());
+    check::ShrinkResult r = check::shrinkCase(c, fail);
+    std::printf("shrunk to %zu instructions in %u round(s)\n",
+                r.reduced.insts.size(), r.rounds);
+    check::writeRepro(r.reduced, out_path);
+    std::printf("repro written: %s (+ %s)\n", out_path.c_str(),
+                check::reproConfigPath(out_path).c_str());
+    std::printf("--- failure ---\n%s\n", r.failure.message.c_str());
+}
+
+int
+cmdRun(std::vector<std::string> args)
+{
+    std::string opt;
+    std::uint64_t seed0 = takeOption(args, "--seed", opt) ? toU64(opt, 1) : 1;
+    std::uint64_t runs =
+        takeOption(args, "--runs", opt) ? toU64(opt, 100) : 100;
+    std::uint64_t insts =
+        takeOption(args, "--insts", opt) ? toU64(opt, 20000) : 20000;
+    std::string out_dir =
+        takeOption(args, "--out", opt) ? opt : std::string(".");
+    double budget_s = takeOption(args, "--time-budget", opt)
+                          ? std::strtod(opt.c_str(), nullptr)
+                          : 0.0;
+    if (!args.empty())
+        return usage();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    for (std::uint64_t s = seed0; s < seed0 + runs; ++s, ++done) {
+        if (budget_s > 0) {
+            const std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            if (elapsed.count() >= budget_s) {
+                std::printf("time budget reached after %llu case(s)\n",
+                            static_cast<unsigned long long>(done));
+                break;
+            }
+        }
+        check::FuzzCase c = check::randomCase(s, insts);
+        if (auto fail = check::runCase(c)) {
+            std::printf("FAIL seed=%llu (%s) at instruction %zu\n",
+                        static_cast<unsigned long long>(s),
+                        c.btb.name().c_str(), fail->index);
+            shrinkAndWrite(c, *fail,
+                           out_dir + "/fuzz-" + std::to_string(s) +
+                               "-min.btbt");
+            return 1;
+        }
+    }
+    std::printf("%llu case(s) passed clean\n",
+                static_cast<unsigned long long>(done));
+    return 0;
+}
+
+int
+cmdShrink(std::vector<std::string> args)
+{
+    std::string opt;
+    std::string out_path = takeOption(args, "--out", opt) ? opt : "";
+    if (args.size() != 1)
+        return usage();
+    const std::string &in_path = args[0];
+    if (out_path.empty()) {
+        out_path = in_path;
+        const std::string suffix = ".btbt";
+        if (out_path.size() > suffix.size() &&
+            out_path.compare(out_path.size() - suffix.size(), suffix.size(),
+                             suffix) == 0)
+            out_path.insert(out_path.size() - suffix.size(), "-min");
+        else
+            out_path += "-min";
+    }
+
+    check::FuzzCase c = check::loadRepro(in_path);
+    auto fail = check::runCase(c);
+    if (!fail) {
+        std::fprintf(stderr, "%s no longer fails; nothing to shrink\n",
+                     in_path.c_str());
+        return 3;
+    }
+    shrinkAndWrite(c, *fail, out_path);
+    return 0;
+}
+
+int
+cmdReplay(std::vector<std::string> args)
+{
+    if (args.size() != 1)
+        return usage();
+    check::FuzzCase c = check::loadRepro(args[0]);
+    std::printf("replaying %zu instructions on %s\n", c.insts.size(),
+                c.btb.name().c_str());
+    if (auto fail = check::runCase(c)) {
+        std::printf("FAIL at instruction %zu\n--- failure ---\n%s\n",
+                    fail->index, fail->message.c_str());
+        return 1;
+    }
+    std::printf("passed clean\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (cmd == "run")
+            return cmdRun(std::move(args));
+        if (cmd == "shrink")
+            return cmdShrink(std::move(args));
+        if (cmd == "replay")
+            return cmdReplay(std::move(args));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "btbsim-fuzz: %s\n", e.what());
+        return 2;
+    }
+    return usage();
+}

@@ -8,36 +8,12 @@
 #include <string>
 
 #include "common/env.h"
+#include "env_util.h"
 
 using namespace btbsim;
+using btbsim::test::ScopedEnv;
 
 namespace {
-
-/** Scoped env override that restores the previous state. */
-class ScopedEnv
-{
-  public:
-    ScopedEnv(const char *name, const char *value) : name_(name)
-    {
-        if (const char *old = std::getenv(name))
-            old_ = old;
-        if (value)
-            setenv(name, value, 1);
-        else
-            unsetenv(name);
-    }
-    ~ScopedEnv()
-    {
-        if (old_)
-            setenv(name_.c_str(), old_->c_str(), 1);
-        else
-            unsetenv(name_.c_str());
-    }
-
-  private:
-    std::string name_;
-    std::optional<std::string> old_;
-};
 
 constexpr const char *kVar = "BTBSIM_WARMUP"; // Any registered knob.
 

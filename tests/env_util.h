@@ -1,0 +1,55 @@
+/**
+ * @file
+ * RAII environment-variable override for tests.
+ *
+ * Every test that mutates a BTBSIM_* knob must do it through ScopedEnv so
+ * the previous state is restored on scope exit — a bare setenv() leaks
+ * into whatever test the ctest scheduler runs next in the same process
+ * or (with test sharding) leaves `ctest -j` order-dependent.
+ */
+
+#ifndef BTBSIM_TESTS_ENV_UTIL_H
+#define BTBSIM_TESTS_ENV_UTIL_H
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace btbsim::test {
+
+/** Scoped env override that restores the previous state on destruction.
+ *  Passing nullptr as @p value unsets the variable for the scope. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            old_ = old;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ScopedEnv(const std::string &name, const std::string &value)
+        : ScopedEnv(name.c_str(), value.c_str())
+    {}
+    ~ScopedEnv()
+    {
+        if (old_)
+            setenv(name_.c_str(), old_->c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    std::string name_;
+    std::optional<std::string> old_;
+};
+
+} // namespace btbsim::test
+
+#endif // BTBSIM_TESTS_ENV_UTIL_H

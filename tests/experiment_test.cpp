@@ -7,6 +7,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "env_util.h"
 #include "exp/experiment.h"
 
 using namespace btbsim;
@@ -268,20 +269,20 @@ TEST(Experiment, JournalRecordsEveryPoint)
 
 TEST(Experiment, EnvOptions)
 {
-    setenv("BTBSIM_RUN_CACHE", "/tmp/expenv", 1);
-    setenv("BTBSIM_RESUME", "1", 1);
-    setenv("BTBSIM_RETRIES", "5", 1);
-    setenv("BTBSIM_MAX_FAILURES", "9", 1);
-    const auto o = exp::ExperimentOptions::fromEnv("fallback");
-    EXPECT_EQ(o.cache_dir, "/tmp/expenv");
-    EXPECT_TRUE(o.resume);
-    EXPECT_EQ(o.retries, 5u);
-    EXPECT_EQ(o.max_failures, 9u);
-    unsetenv("BTBSIM_RUN_CACHE");
-    unsetenv("BTBSIM_RESUME");
-    unsetenv("BTBSIM_RETRIES");
-    unsetenv("BTBSIM_MAX_FAILURES");
+    {
+        test::ScopedEnv e1("BTBSIM_RUN_CACHE", "/tmp/expenv");
+        test::ScopedEnv e2("BTBSIM_RESUME", "1");
+        test::ScopedEnv e3("BTBSIM_RETRIES", "5");
+        test::ScopedEnv e4("BTBSIM_MAX_FAILURES", "9");
+        const auto o = exp::ExperimentOptions::fromEnv("fallback");
+        EXPECT_EQ(o.cache_dir, "/tmp/expenv");
+        EXPECT_TRUE(o.resume);
+        EXPECT_EQ(o.retries, 5u);
+        EXPECT_EQ(o.max_failures, 9u);
+    }
 
+    test::ScopedEnv e1("BTBSIM_RUN_CACHE", nullptr);
+    test::ScopedEnv e2("BTBSIM_RESUME", nullptr);
     const auto d = exp::ExperimentOptions::fromEnv("fallback");
     EXPECT_EQ(d.cache_dir, "fallback");
     EXPECT_FALSE(d.resume);

@@ -18,12 +18,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <unistd.h>
 
 #include "exp/sha256.h"
 #include "sim/cpu.h"
 #include "trace/generator.h"
 #include "trace/synthetic_trace.h"
+#include "traceio/trace_reader.h"
+#include "traceio/trace_writer.h"
 
 using namespace btbsim;
 
@@ -97,6 +101,50 @@ expectGolden(const BtbConfig &btb, const std::string &golden)
         << canon;
 }
 
+/**
+ * The golden workload recorded as a `.btbt` file, once per process. The
+ * recording carries a frontend-slack margin beyond warmup + measure so
+ * replay never wraps (a wrap rewrites the seam instruction and would
+ * change the stream).
+ */
+const std::string &
+goldenRecording()
+{
+    static const std::string path = [] {
+        const auto dir = std::filesystem::temp_directory_path() /
+                         ("btbsim-golden-" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+        const std::string p = (dir / "golden.btbt").string();
+        SyntheticTrace live(goldenProgram(), 7);
+        traceio::TraceWriter w(p, "golden", &goldenProgram());
+        constexpr std::uint64_t kRecorded = kWarmup + kMeasure + 96 * 1024;
+        for (std::uint64_t i = 0; i < kRecorded; ++i)
+            w.append(live.next());
+        w.finish();
+        return p;
+    }();
+    return path;
+}
+
+/** The replay path must reproduce the live-source digest bit for bit:
+ *  same golden constants, delivered through TraceReplaySource. */
+void
+expectGoldenReplay(const BtbConfig &btb, const std::string &golden)
+{
+    CpuConfig cfg;
+    cfg.btb = btb;
+    traceio::TraceReplaySource trace(goldenRecording());
+    Cpu cpu(cfg, trace);
+    cpu.run(kWarmup, kMeasure);
+    EXPECT_EQ(trace.wraps(), 0u) << "recording margin too small";
+    const std::string canon = canonicalCounters(cpu.stats());
+    const std::string digest = exp::Sha256::hexDigest(canon);
+    EXPECT_EQ(digest, golden)
+        << "replayed SimStats diverged for " << btb.name() << "\n"
+        << "counter dump:\n"
+        << canon;
+}
+
 } // namespace
 
 TEST(GoldenStats, InstructionBtb)
@@ -150,6 +198,37 @@ TEST(GoldenStats, MultiBlockBtbCallDir32)
 TEST(GoldenStats, HeteroBtb)
 {
     expectGolden(BtbConfig::hetero(2, /*split=*/true), "915e3f03dfbab451c1de96299165510e1e5469a52e65063bb986aae473e2c5b0");
+}
+
+// ---- replay path (TraceReplaySource must be stream-identical) -------------
+// One test per organization kind, against the same golden constants as
+// the live-source tests above.
+
+TEST(GoldenStatsReplay, InstructionBtb)
+{
+    expectGoldenReplay(BtbConfig::ibtb(16), "0c9ec7760d28f0ab6d1ad55ebe5698519c1892f7f2b3797b14797692d02c1138");
+}
+
+TEST(GoldenStatsReplay, RegionBtb)
+{
+    expectGoldenReplay(BtbConfig::rbtb(3), "e65578889b508987aa3111d06a7f1660b11aa8e88976953b870467223547a183");
+}
+
+TEST(GoldenStatsReplay, BlockBtb)
+{
+    expectGoldenReplay(BtbConfig::bbtb(2), "0d4186b21ec1c9cc92de8c039b520b6a8ec3e9bdcef2d57ed03a5a1b94adf0de");
+}
+
+TEST(GoldenStatsReplay, MultiBlockBtb)
+{
+    expectGoldenReplay(BtbConfig::mbbtb(3, PullPolicy::kAllBr),
+                       "30358f709265c666fa32e68014beb1f39faf5b7d26cc7ed6d51cf8d6148ccf78");
+}
+
+TEST(GoldenStatsReplay, HeteroBtb)
+{
+    expectGoldenReplay(BtbConfig::hetero(2, /*split=*/true),
+                       "915e3f03dfbab451c1de96299165510e1e5469a52e65063bb986aae473e2c5b0");
 }
 
 /** Utility: prints every golden digest (run with --gtest_also_run_disabled_tests

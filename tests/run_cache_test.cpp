@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "env_util.h"
 #include "exp/run_cache.h"
 #include "exp/sha256.h"
 #include "obs/json.h"
@@ -244,14 +245,19 @@ TEST(RunCache, DisabledCacheMissesAndIgnoresStores)
 
 TEST(RunCache, DirFromEnvSemantics)
 {
-    unsetenv("BTBSIM_RUN_CACHE");
-    EXPECT_EQ(exp::RunCache::dirFromEnv("fb"), "fb");
-    EXPECT_EQ(exp::RunCache::dirFromEnv(""), "");
-    setenv("BTBSIM_RUN_CACHE", "0", 1);
-    EXPECT_EQ(exp::RunCache::dirFromEnv("fb"), "");
-    setenv("BTBSIM_RUN_CACHE", "/tmp/somewhere", 1);
-    EXPECT_EQ(exp::RunCache::dirFromEnv("fb"), "/tmp/somewhere");
-    unsetenv("BTBSIM_RUN_CACHE");
+    {
+        test::ScopedEnv e("BTBSIM_RUN_CACHE", nullptr);
+        EXPECT_EQ(exp::RunCache::dirFromEnv("fb"), "fb");
+        EXPECT_EQ(exp::RunCache::dirFromEnv(""), "");
+    }
+    {
+        test::ScopedEnv e("BTBSIM_RUN_CACHE", "0");
+        EXPECT_EQ(exp::RunCache::dirFromEnv("fb"), "");
+    }
+    {
+        test::ScopedEnv e("BTBSIM_RUN_CACHE", "/tmp/somewhere");
+        EXPECT_EQ(exp::RunCache::dirFromEnv("fb"), "/tmp/somewhere");
+    }
 }
 
 TEST(RunCache, Sha256MatchesReferenceVectors)

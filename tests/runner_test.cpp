@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "env_util.h"
 #include "sim/runner.h"
 #include "traceio/replay_env.h"
 #include "traceio/trace_writer.h"
@@ -13,24 +14,20 @@ using namespace btbsim;
 
 TEST(Runner, EnvOverrides)
 {
-    setenv("BTBSIM_WARMUP", "1234", 1);
-    setenv("BTBSIM_MEASURE", "5678", 1);
-    setenv("BTBSIM_TRACES", "3", 1);
-    setenv("BTBSIM_THREADS", "2", 1);
+    test::ScopedEnv e1("BTBSIM_WARMUP", "1234");
+    test::ScopedEnv e2("BTBSIM_MEASURE", "5678");
+    test::ScopedEnv e3("BTBSIM_TRACES", "3");
+    test::ScopedEnv e4("BTBSIM_THREADS", "2");
     const RunOptions o = RunOptions::fromEnv();
     EXPECT_EQ(o.warmup, 1234u);
     EXPECT_EQ(o.measure, 5678u);
     EXPECT_EQ(o.traces, 3u);
     EXPECT_EQ(o.threads, 2u);
-    unsetenv("BTBSIM_WARMUP");
-    unsetenv("BTBSIM_MEASURE");
-    unsetenv("BTBSIM_TRACES");
-    unsetenv("BTBSIM_THREADS");
 }
 
 TEST(Runner, EnvDefaultsWhenUnset)
 {
-    unsetenv("BTBSIM_WARMUP");
+    test::ScopedEnv e("BTBSIM_WARMUP", nullptr);
     const RunOptions o = RunOptions::fromEnv();
     EXPECT_EQ(o.warmup, RunOptions{}.warmup);
 }
@@ -95,12 +92,14 @@ TEST(Runner, ReplayAcrossThreadsIsBitIdentical)
     configs[0].btb = BtbConfig::ibtb(16);
     configs[1].btb = BtbConfig::bbtb(1, true);
 
-    setenv("BTBSIM_TRACE_DIR", dir.c_str(), 1);
-    opt.threads = 2;
-    const auto mt = runMatrix(configs, {spec}, opt);
-    opt.threads = 1;
-    const auto st = runMatrix(configs, {spec}, opt);
-    unsetenv("BTBSIM_TRACE_DIR");
+    std::vector<SimStats> mt, st;
+    {
+        test::ScopedEnv env("BTBSIM_TRACE_DIR", dir.c_str());
+        opt.threads = 2;
+        mt = runMatrix(configs, {spec}, opt);
+        opt.threads = 1;
+        st = runMatrix(configs, {spec}, opt);
+    }
 
     ASSERT_EQ(mt.size(), 2u);
     ASSERT_EQ(st.size(), 2u);

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Direct tests of the I-BTB's deferred-lookup machinery: the ShadowL1
+ * overlay that predicts per-slot supply levels at fill time, and
+ * commitProbed(), which replays the real lookups (recency touches and
+ * L2-to-L1 fills) at endAccess. Uses deliberately colliding geometries
+ * (1 set, 1-2 ways) where several window PCs share an L1 set, so the
+ * reported level is only correct if the overlay mirrors every fill and
+ * touch of the access in probe order. Observed through the public API:
+ * bundle StepView levels during the walk, peekLevel() afterwards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "btb_test_util.h"
+#include "core/btb_org.h"
+
+using namespace btbsim;
+
+namespace {
+
+/** I-BTB with a colliding L1: every PC maps to set 0. */
+BtbConfig
+tinyIbtb(unsigned l1_ways)
+{
+    BtbConfig c;
+    c.kind = BtbKind::kInstruction;
+    c.width = 4;
+    c.l1 = {1, l1_ways};
+    c.l2 = {64, 4};
+    return c;
+}
+
+/** Train a taken conditional at @p pc (conditionals do not stop the
+ *  window fill, unlike always-taken classes). */
+void
+trainCond(BtbOrg &org, Addr pc)
+{
+    org.update(test::branchAt(pc, BranchClass::kCondDirect, pc + 64), false);
+}
+
+/** Walk one access from @p pc across @p n sequential PCs and return the
+ *  slot level seen at each (0 = sequential / end of window). */
+std::vector<int>
+walkLevels(BtbOrg &org, Addr pc, unsigned n)
+{
+    std::vector<int> levels;
+    PredictionBundle b;
+    org.beginAccess(pc, b);
+    for (unsigned i = 0; i < n; ++i) {
+        StepView v = b.probe(pc + Addr{i} * kInstBytes);
+        if (v.kind == StepView::Kind::kEndOfWindow)
+            break;
+        levels.push_back(v.kind == StepView::Kind::kBranch ? v.level : 0);
+    }
+    b.finish(org);
+    return levels;
+}
+
+} // namespace
+
+// With a 1-entry L1, the second trained branch evicts the first, so a
+// window touching both must report the first from L2 — and, because the
+// replayed fill of the first evicts the survivor, the second from L2 too.
+TEST(ShadowL1, OneEntryL1CollidingWindow)
+{
+    auto org = makeBtb(tinyIbtb(/*l1_ways=*/1));
+    const Addr a = 0x1000, b = 0x1004;
+    trainCond(*org, a);
+    trainCond(*org, b); // L1 (1 entry) now holds only b.
+    ASSERT_EQ(org->peekLevel(a), 2);
+    ASSERT_EQ(org->peekLevel(b), 1);
+
+    EXPECT_EQ(walkLevels(*org, a, 2), (std::vector<int>{2, 2}));
+
+    // commitProbed replayed lookup(a) then lookup(b): the last promoted
+    // key owns the single entry.
+    EXPECT_EQ(org->peekLevel(a), 2);
+    EXPECT_EQ(org->peekLevel(b), 1);
+}
+
+// A second access over the same window must see the post-replay state,
+// not the fill-time snapshot of the first access.
+TEST(ShadowL1, ReplayedFillsVisibleToNextAccess)
+{
+    auto org = makeBtb(tinyIbtb(/*l1_ways=*/1));
+    const Addr a = 0x1000, b = 0x1004;
+    trainCond(*org, a);
+    trainCond(*org, b);
+
+    EXPECT_EQ(walkLevels(*org, a, 2), (std::vector<int>{2, 2}));
+    // L1 now holds b; a window starting at a evicts it again mid-access,
+    // so b still reports level 2 despite being L1-resident at fill time.
+    EXPECT_EQ(walkLevels(*org, a, 2), (std::vector<int>{2, 2}));
+    EXPECT_EQ(org->peekLevel(b), 1);
+}
+
+// The overlay must mirror the recency touch of an L1 hit: the touched
+// way survives the in-access fill, which evicts the other way instead.
+TEST(ShadowL1, TouchOrderingDirectsVictimChoice)
+{
+    auto org = makeBtb(tinyIbtb(/*l1_ways=*/2));
+    const Addr b = 0x1000, d = 0x1004, c = 0x1008;
+    trainCond(*org, d);
+    trainCond(*org, b);
+    trainCond(*org, c); // L1 {b, c} (d evicted, was LRU); b older than c.
+    ASSERT_EQ(org->peekLevel(b), 1);
+    ASSERT_EQ(org->peekLevel(c), 1);
+    ASSERT_EQ(org->peekLevel(d), 2);
+
+    // Window probes b, d, c in order. The hit on b touches it, so d's
+    // fill evicts c — which must therefore report level 2.
+    EXPECT_EQ(walkLevels(*org, b, 3), (std::vector<int>{1, 2, 2}));
+
+    // Replay: touch(b), fill(d) evicts c, fill(c) evicts b (oldest).
+    EXPECT_EQ(org->peekLevel(b), 2);
+    EXPECT_EQ(org->peekLevel(d), 1);
+    EXPECT_EQ(org->peekLevel(c), 1);
+}
+
+// Only slots the walk actually probed replay their lookups; an access
+// that ends early must leave unprobed slots' entries untouched.
+TEST(ShadowL1, OnlyProbedSlotsReplay)
+{
+    auto org = makeBtb(tinyIbtb(/*l1_ways=*/1));
+    const Addr a = 0x1000, b = 0x1004;
+    trainCond(*org, a);
+    trainCond(*org, b); // L1 holds b.
+
+    PredictionBundle bun;
+    org->beginAccess(a, bun);
+    StepView v = bun.probe(a);
+    ASSERT_EQ(v.kind, StepView::Kind::kBranch);
+    EXPECT_EQ(v.level, 2);
+    bun.finish(*org); // Walk ends at a; slot b was filled but not probed.
+
+    // Only lookup(a) replayed: a owns the entry, b fell back to L2.
+    EXPECT_EQ(org->peekLevel(a), 1);
+    EXPECT_EQ(org->peekLevel(b), 2);
+}
+
+// Skp chaining commits the probed prefix before refilling at the target:
+// the chained window's levels must account for the first window's fills.
+TEST(ShadowL1, ChainCommitsBeforeRefill)
+{
+    BtbConfig cfg = tinyIbtb(/*l1_ways=*/1);
+    cfg.skip_taken = true;
+    auto org = makeBtb(cfg);
+    const Addr a = 0x1000, t = 0x2000;
+    trainCond(*org, t); // Target-window branch, L1 resident.
+    org->update(test::branchAt(a, BranchClass::kUncondDirect, t), false);
+    // L1 (1 entry) now holds a; t is L2-only.
+    ASSERT_EQ(org->peekLevel(a), 1);
+    ASSERT_EQ(org->peekLevel(t), 2);
+
+    PredictionBundle bun;
+    org->beginAccess(a, bun);
+    StepView v = bun.probe(a);
+    ASSERT_EQ(v.kind, StepView::Kind::kBranch);
+    EXPECT_EQ(v.level, 1);
+    ASSERT_TRUE(v.follow);
+    ASSERT_TRUE(bun.chain(*org, a, t));
+    // chainAccess committed lookup(a) (a touch), then peeked the target
+    // window: t is still L2-supplied because a holds the single entry.
+    v = bun.probe(t);
+    ASSERT_EQ(v.kind, StepView::Kind::kBranch);
+    EXPECT_EQ(v.level, 2);
+    bun.finish(*org);
+
+    // The probed t replayed its fill and now owns the entry.
+    EXPECT_EQ(org->peekLevel(t), 1);
+    EXPECT_EQ(org->peekLevel(a), 2);
+}

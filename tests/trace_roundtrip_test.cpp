@@ -10,6 +10,7 @@
 #include <fstream>
 #include <vector>
 
+#include "env_util.h"
 #include "sim/runner.h"
 #include "trace/suite.h"
 #include "traceio/replay_env.h"
@@ -67,15 +68,6 @@ expectBitIdentical(const SimStats &a, const SimStats &b)
     }
 }
 
-struct TraceDirGuard
-{
-    explicit TraceDirGuard(const std::string &dir)
-    {
-        setenv("BTBSIM_TRACE_DIR", dir.c_str(), 1);
-    }
-    ~TraceDirGuard() { unsetenv("BTBSIM_TRACE_DIR"); }
-};
-
 } // namespace
 
 TEST(TraceRoundTrip, ReplayedRunIsBitIdenticalToLive)
@@ -91,14 +83,17 @@ TEST(TraceRoundTrip, ReplayedRunIsBitIdenticalToLive)
     // rewrites the seam instruction and would diverge from live).
     recordWorkload(dir, spec, opt.warmup + opt.measure + (64u << 10));
 
-    unsetenv("BTBSIM_TRACE_DIR");
     CpuConfig cfg;
-    const SimStats live = runOne(cfg, spec, opt);
+    SimStats live;
+    {
+        test::ScopedEnv env("BTBSIM_TRACE_DIR", nullptr);
+        live = runOne(cfg, spec, opt);
+    }
     EXPECT_EQ(live.source_kind, "generated");
 
     SimStats rep;
     {
-        TraceDirGuard env(dir);
+        test::ScopedEnv env("BTBSIM_TRACE_DIR", dir.c_str());
         rep = runOne(cfg, spec, opt);
     }
     EXPECT_EQ(rep.source_kind, "replay");
@@ -171,7 +166,7 @@ TEST(TraceRoundTrip, CorruptRecordingFallsBackToGeneration)
     RunOptions opt;
     opt.warmup = 10'000;
     opt.measure = 20'000;
-    TraceDirGuard env(dir);
+    test::ScopedEnv env("BTBSIM_TRACE_DIR", dir.c_str());
     const SimStats s = runOne(CpuConfig{}, spec, opt);
     // The bad file is diagnosed (to stderr) and the run still completes
     // on the live source.
@@ -190,7 +185,7 @@ TEST(TraceRoundTrip, MissingRecordingUsesGeneration)
     RunOptions opt;
     opt.warmup = 10'000;
     opt.measure = 20'000;
-    TraceDirGuard env(dir);
+    test::ScopedEnv env("BTBSIM_TRACE_DIR", dir.c_str());
     const SimStats s = runOne(CpuConfig{}, spec, opt);
     EXPECT_EQ(s.source_kind, "generated");
 
