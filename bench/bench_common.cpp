@@ -8,6 +8,7 @@
 #include "common/env.h"
 #include "exp/experiment.h"
 #include "obs/export.h"
+#include "obs/span.h"
 #include "traceio/replay_env.h"
 
 namespace btbsim::bench {
@@ -29,6 +30,7 @@ std::vector<std::string> g_failures;
 Context
 setup(const std::string &title, const std::string &paper_ref)
 {
+    obs::ObsSpan span("setup");
     Context ctx;
     ctx.opt = RunOptions::fromEnv();
     ctx.suite = serverSuite(ctx.opt.traces);
@@ -144,6 +146,13 @@ runAll(const Context &ctx, const std::vector<CpuConfig> &configs)
 int
 finish()
 {
+    // Perfetto span dump on bench exit (BTBSIM_SPAN_OUT; off by default).
+    const std::string trace_path =
+        obs::SpanCollector::instance().writeChromeTraceFromEnv(
+            "results/spans/" + g_bench_slug + ".trace.json");
+    if (!trace_path.empty())
+        std::printf("wrote %s (host span trace)\n", trace_path.c_str());
+
     if (g_failures.empty())
         return 0;
     std::fprintf(stderr, "btbsim: %zu sweep point(s) failed:\n",
@@ -164,8 +173,13 @@ writeJsonTo(const ResultSet &results, const std::string &bench_name,
     std::ofstream os(p);
     if (!os)
         return false;
+    // The whole-process host span profile rides along in every result
+    // document, so `btbsim-stats prof` works on any bench JSON.
+    const obs::ProfileBlock profile =
+        obs::SpanCollector::instance().profile();
     results.writeJson(os, bench_name, baseline,
-                      g_have_experiment ? &g_exp_counters : nullptr);
+                      g_have_experiment ? &g_exp_counters : nullptr,
+                      &profile);
     return static_cast<bool>(os);
 }
 
@@ -183,6 +197,7 @@ printFigure(const ResultSet &results, const std::string &baseline)
 void
 exportResults(const ResultSet &results, const std::string &baseline)
 {
+    obs::ObsSpan span("export");
     const std::string json_path = env::outPath(
         "BTBSIM_JSON_OUT", "results/" + g_bench_slug + ".json");
     if (!json_path.empty()) {

@@ -39,6 +39,18 @@ mkdir -p results
 trace_dir=results/btbt
 cache_dir=${BTBSIM_RUN_CACHE:-results/cache}
 
+# Per-bench result JSON. An externally-set BTBSIM_JSON_OUT names the
+# output *directory* (default results/); every bench writes its own
+# <dir>/<bench>.json. BTBSIM_JSON_OUT=0 disables JSON output.
+json_dir=results
+json_enabled=1
+case "${BTBSIM_JSON_OUT:-}" in
+    "" | 1 | true) ;;
+    0) json_enabled=0 ;;
+    *) json_dir=$BTBSIM_JSON_OUT ;;
+esac
+[[ $json_enabled -eq 1 ]] && mkdir -p "$json_dir"
+
 if [[ $fresh -eq 1 && "$cache_dir" != 0 ]]; then
     echo "=== dropping run cache $cache_dir ==="
     rm -rf "$cache_dir"
@@ -64,13 +76,30 @@ if [[ $replay -eq 1 ]]; then
 fi
 
 SECONDS=0
+declare -A json_path_for
 for b in build/bench/bench_*; do
+    [[ -f "$b" && -x "$b" ]] || continue
     name=$(basename "$b")
+    # Basename-uniqueness guard: two benches mapping onto the same
+    # <json_dir>/<name>.json would have the later one silently
+    # overwrite the earlier one's results.
+    if [[ -n "${json_path_for[$name]:-}" ]]; then
+        echo "error: bench basename collision: '$b' and" \
+             "'${json_path_for[$name]}' would both write" \
+             "$json_dir/${name}.json" >&2
+        exit 2
+    fi
+    json_path_for[$name]=$b
     echo "=== $name ==="
     # bench_simspeed writes its own host-throughput JSON schema
     # (btbsim-simspeed-v1); bench_characterization (analyzer-only)
     # produces no result JSON, so the env knob is a no-op there.
-    BTBSIM_JSON_OUT="results/${name}.json" "$b" 2>&1 | tee "results/$name.txt"
+    if [[ $json_enabled -eq 1 ]]; then
+        BTBSIM_JSON_OUT="$json_dir/${name}.json" "$b" 2>&1 |
+            tee "results/$name.txt"
+    else
+        BTBSIM_JSON_OUT=0 "$b" 2>&1 | tee "results/$name.txt"
+    fi
 done
 elapsed=$SECONDS
 

@@ -28,6 +28,26 @@ knobs()
         // obs/sampler
         {"BTBSIM_SAMPLE_INTERVAL", "100000",
          "Cycles per time-series sample; 0 disables sampling."},
+        // obs/span + obs/host_counters + obs/progress
+        {"BTBSIM_SPANS", "1",
+         "0 disables the host-time span profiler (on by default; span "
+         "sites are phase-grained, not per-instruction)."},
+        {"BTBSIM_SPAN_CAP", "65536",
+         "Per-thread span-record ring capacity for the Chrome trace "
+         "(aggregates are exact regardless)."},
+        {"BTBSIM_SPAN_OUT", "",
+         "Chrome-trace span dump (Perfetto-loadable): 1/true = "
+         "results/spans/<bench>.trace.json, else a path; 0/empty "
+         "disables."},
+        {"BTBSIM_HOST_COUNTERS", "1",
+         "0 skips perf_event_open so span profiles carry timestamps "
+         "only (auto-fallback when the kernel denies perf access)."},
+        {"BTBSIM_PROGRESS_FD", "",
+         "File descriptor number for the JSONL sweep-progress stream; "
+         "empty disables."},
+        {"BTBSIM_PROGRESS_FILE", "",
+         "Append-mode file for the JSONL sweep-progress stream "
+         "(BTBSIM_PROGRESS_FD wins when both are set)."},
         // obs/tracer + sim/runner trace dump; also the .btbt replay dir
         {"BTBSIM_TRACE", "0", "Non-0 enables the pipeline event tracer."},
         {"BTBSIM_TRACE_CAP", "65536",

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -12,8 +13,10 @@
 #include "common/env.h"
 #include "exp/sha256.h"
 #include "obs/export.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
+#include "obs/span.h"
 #include "traceio/replay_env.h"
 
 namespace btbsim::exp {
@@ -172,6 +175,23 @@ class Journal
     std::set<std::string> completed_;
 };
 
+/** Render one single-line JSON record (JsonWriter pretty-prints, so
+ *  newlines are stripped; JSON strings never contain raw newlines). */
+std::string
+flatJsonLine(const std::function<void(obs::JsonWriter &)> &fill)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    fill(w);
+    const std::string s = os.str();
+    std::string flat;
+    flat.reserve(s.size());
+    for (char c : s)
+        if (c != '\n')
+            flat += c;
+    return flat;
+}
+
 unsigned
 resolveThreads(unsigned requested, std::size_t jobs)
 {
@@ -202,6 +222,7 @@ ExperimentResult
 Experiment::run()
 {
     const auto t0 = std::chrono::steady_clock::now();
+    obs::ObsSpan sweep_span("sweep");
 
     ExperimentResult result;
     result.name = name_;
@@ -254,8 +275,80 @@ Experiment::run()
     std::atomic<std::size_t> resumed{0};
     std::mutex point_mu; // Serializes the on_point callback.
 
+    // Live JSONL progress stream (BTBSIM_PROGRESS_FD / _FILE): one
+    // sweep_start record, one per finished point, one sweep_end.
+    const std::unique_ptr<obs::ProgressStream> progress =
+        obs::ProgressStream::openFromEnv();
+    std::mutex progress_mu; // Guards the done/status tallies below.
+    struct
+    {
+        std::size_t done = 0, ok = 0, cached = 0, failed = 0, skipped = 0;
+    } tally;
+    if (progress) {
+        progress->emitLine(flatJsonLine([&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("type", "sweep_start");
+            w.kv("sweep", name_);
+            w.kv("total", static_cast<std::uint64_t>(result.points.size()));
+            w.kv("cache", cache.enabled() ? cache.dir() : "");
+            w.kv("threads",
+                 resolveThreads(opt_.run.threads, result.points.size()));
+            w.endObject();
+        }));
+    }
+
     auto finishPoint = [&](PointResult &p) {
         journal.append(p);
+        if (progress) {
+            std::lock_guard<std::mutex> lk(progress_mu);
+            ++tally.done;
+            switch (p.status) {
+              case PointStatus::kOk:
+                ++tally.ok;
+                break;
+              case PointStatus::kCached:
+                ++tally.cached;
+                break;
+              case PointStatus::kFailed:
+                ++tally.failed;
+                break;
+              case PointStatus::kSkipped:
+                ++tally.skipped;
+                break;
+            }
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            // Linear extrapolation over finished points; -1 until the
+            // first one lands (no basis for an estimate yet).
+            const std::size_t left = result.points.size() - tally.done;
+            const double eta =
+                tally.done > 0
+                    ? elapsed / static_cast<double>(tally.done) *
+                          static_cast<double>(left)
+                    : -1.0;
+            progress->emitLine(flatJsonLine([&](obs::JsonWriter &w) {
+                w.beginObject();
+                w.kv("type", "point");
+                w.kv("sweep", name_);
+                w.kv("done", static_cast<std::uint64_t>(tally.done));
+                w.kv("total",
+                     static_cast<std::uint64_t>(result.points.size()));
+                w.kv("ok", static_cast<std::uint64_t>(tally.ok));
+                w.kv("cached", static_cast<std::uint64_t>(tally.cached));
+                w.kv("failed", static_cast<std::uint64_t>(tally.failed));
+                w.kv("skipped", static_cast<std::uint64_t>(tally.skipped));
+                w.kv("elapsed_seconds", elapsed);
+                w.kv("eta_seconds", eta);
+                w.kv("config", p.config);
+                w.kv("workload", p.workload);
+                w.kv("status", pointStatusName(p.status));
+                w.kv("span",
+                     obs::SpanCollector::instance().currentPath());
+                w.endObject();
+            }));
+        }
         if (opt_.on_point) {
             std::lock_guard<std::mutex> lk(point_mu);
             opt_.on_point(p);
@@ -268,6 +361,7 @@ Experiment::run()
             if (i >= result.points.size())
                 return;
             PointResult &p = result.points[i];
+            obs::ObsSpan point_span("point");
 
             // Circuit breaker: once the failure budget is spent, stop
             // burning host time and report the rest as skipped.
@@ -279,6 +373,7 @@ Experiment::run()
             }
 
             if (cache.enabled()) {
+                obs::ObsSpan probe_span("cache_probe");
                 if (auto hit = cache.load(p.digest)) {
                     p.status = PointStatus::kCached;
                     p.stats = std::move(*hit);
@@ -295,6 +390,7 @@ Experiment::run()
             for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
                 p.attempts = attempt;
                 try {
+                    obs::ObsSpan exec_span("execute");
                     p.stats = opt_.simulate(cfg, spec, opt_.run);
                     p.status = PointStatus::kOk;
                     p.error.clear();
@@ -316,8 +412,10 @@ Experiment::run()
             }
 
             if (p.status == PointStatus::kOk) {
-                if (cache.enabled())
+                if (cache.enabled()) {
+                    obs::ObsSpan store_span("cache_store");
                     cache.store(p.digest, key_jsons[i], p.stats);
+                }
             } else {
                 failures.fetch_add(1);
             }
@@ -357,6 +455,22 @@ Experiment::run()
     s.wall_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t0)
                          .count();
+
+    if (progress) {
+        progress->emitLine(flatJsonLine([&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("type", "sweep_end");
+            w.kv("sweep", name_);
+            w.kv("total", static_cast<std::uint64_t>(s.total));
+            w.kv("ok", static_cast<std::uint64_t>(s.ok));
+            w.kv("cached", static_cast<std::uint64_t>(s.cached));
+            w.kv("failed", static_cast<std::uint64_t>(s.failed));
+            w.kv("skipped", static_cast<std::uint64_t>(s.skipped));
+            w.kv("retries", static_cast<std::uint64_t>(s.retries));
+            w.kv("wall_seconds", s.wall_seconds);
+            w.endObject();
+        }));
+    }
     return result;
 }
 

@@ -95,6 +95,12 @@ writeStatsJson(obs::JsonWriter &w, const SimStats &s)
     w.kv("minst_per_host_sec", s.minst_per_host_sec);
     w.kv("source_kind", s.source_kind);
     w.kv("source_minst_per_sec", s.source_minst_per_sec);
+    // The host span profile is cached too: a warm hit restores the
+    // original run's profile bit-identically, keeping cold and warm
+    // sweeps byte-comparable (the CI determinism gate relies on it).
+    w.key("span_profile");
+    obs::writeSpanProfileJson(w, s.span_profile);
+    w.kv("host_counters_available", s.host_counters_available ? 1 : 0);
     w.endObject();
 }
 
@@ -160,6 +166,20 @@ statsFromJson(const obs::JsonValue &v)
     s.minst_per_host_sec = v.at("minst_per_host_sec").asNumber();
     s.source_kind = v.at("source_kind").asString();
     s.source_minst_per_sec = v.at("source_minst_per_sec").asNumber();
+    for (const auto &[path, av] : v.at("span_profile").object) {
+        obs::SpanAgg a;
+        a.count = u64At(av, "count");
+        a.wall_ns = u64At(av, "wall_ns");
+        a.tsc = u64At(av, "tsc");
+        a.cycles = u64At(av, "cycles");
+        a.instructions = u64At(av, "instructions");
+        a.branch_misses = u64At(av, "branch_misses");
+        a.cache_misses = u64At(av, "cache_misses");
+        a.task_clock_ns = u64At(av, "task_clock_ns");
+        s.span_profile[path] = a;
+    }
+    s.host_counters_available =
+        v.at("host_counters_available").asNumber() != 0.0;
     return s;
 }
 

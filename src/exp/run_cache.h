@@ -14,7 +14,7 @@
  * Entry layout under the cache directory (BTBSIM_RUN_CACHE):
  *
  *   <dir>/<digest[0:2]>/<digest>.json
- *   { "cache_schema": 1, "digest": "...", "stats_sha256": "...",
+ *   { "cache_schema": 2, "digest": "...", "stats_sha256": "...",
  *     "key": { ...canonical run key... }, "stats": { ...full SimStats... } }
  *
  * Writes are atomic (temp file + rename), so concurrent sweep workers
@@ -41,11 +41,12 @@
 namespace btbsim::exp {
 
 /** Bump on any change that alters simulation results or the canonical
- *  key/stats serialization (see file comment). */
-constexpr int kRunKeySchemaVersion = 1;
+ *  key/stats serialization (see file comment).
+ *  v2: SimStats gained span_profile / host_counters_available. */
+constexpr int kRunKeySchemaVersion = 2;
 
 /** Version of the on-disk cache-entry envelope. */
-constexpr int kRunCacheSchemaVersion = 1;
+constexpr int kRunCacheSchemaVersion = 2;
 
 /** Everything that identifies one run point's results. */
 struct RunKey

@@ -67,6 +67,9 @@ writeSimStatsJson(JsonWriter &w, const SimStats &s)
     w.kv("minst_per_sec", s.minst_per_host_sec);
     w.kv("source", s.source_kind);
     w.kv("source_minst_per_sec", s.source_minst_per_sec);
+    w.kv("counters_available", s.host_counters_available ? 1 : 0);
+    w.key("spans");
+    writeSpanProfileJson(w, s.span_profile);
     w.endObject();
 
     w.key("samples");
@@ -90,6 +93,39 @@ writeSimStatsJson(JsonWriter &w, const SimStats &s)
     w.endArray();
     w.endObject();
 
+    w.endObject();
+}
+
+void
+writeSpanProfileJson(JsonWriter &w, const SpanProfile &p)
+{
+    w.beginObject();
+    for (const auto &[path, a] : p) {
+        w.key(path);
+        w.beginObject();
+        w.kv("count", a.count);
+        w.kv("wall_ns", a.wall_ns);
+        w.kv("tsc", a.tsc);
+        w.kv("cycles", a.cycles);
+        w.kv("instructions", a.instructions);
+        w.kv("branch_misses", a.branch_misses);
+        w.kv("cache_misses", a.cache_misses);
+        w.kv("task_clock_ns", a.task_clock_ns);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+writeProfileBlockJson(JsonWriter &w, const ProfileBlock &p)
+{
+    w.beginObject();
+    w.kv("total_spans", p.total_spans);
+    w.kv("dropped", p.dropped);
+    w.kv("threads", p.threads);
+    w.kv("counters_available", p.counters_available ? 1 : 0);
+    w.key("spans");
+    writeSpanProfileJson(w, p.spans);
     w.endObject();
 }
 

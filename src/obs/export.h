@@ -4,10 +4,10 @@
  * schema is versioned (kSchemaVersion, emitted as "schema_version") and
  * documented in DESIGN.md §Observability; tools/btbsim-stats consumes it.
  *
- * Schema v1 (one document per bench invocation):
+ * Schema v2 (one document per bench invocation):
  *
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "generator": "btbsim",
  *     "bench": "<bench slug>",
  *     "baseline": "<config name or "">,
@@ -16,7 +16,14 @@
  *         "config": "...", "workload": "...",
  *         "stats": { instructions, cycles, ipc, branch_mpki, ... },
  *         "counters": { "<component.stat>": <number>, ... },
- *         "host": { "seconds": s, "minst_per_sec": r },
+ *         "host": {
+ *           "seconds": s, "minst_per_sec": r,
+ *           "counters_available": 0|1,          // v2
+ *           "spans": {                          // v2: per-run profile
+ *             "<path>": { count, wall_ns, tsc, cycles, instructions,
+ *                         branch_misses, cache_misses, task_clock_ns }
+ *           }
+ *         },
  *         "samples": {
  *           "interval_cycles": N,
  *           "points": [ { cycle, instructions, ipc, l1_btb_hitrate,
@@ -27,8 +34,16 @@
  *     ],
  *     "aggregates": {
  *       "<config>": { "geomean_ipc": g, "normalized_ipc_geomean": n }
+ *     },
+ *     "profile": {                              // v2: whole process
+ *       "total_spans": n, "dropped": d, "threads": t,
+ *       "counters_available": 0|1,
+ *       "spans": { "<path>": { ...same as host.spans... } }
  *     }
  *   }
+ *
+ * v1 is v2 without the host.counters_available / host.spans / profile
+ * members; consumers (obs/result_doc.h) accept both.
  */
 
 #ifndef BTBSIM_OBS_EXPORT_H
@@ -40,6 +55,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/span.h"
 
 namespace btbsim {
 struct SimStats;
@@ -48,10 +64,17 @@ struct SimStats;
 namespace btbsim::obs {
 
 /** Version of the result-JSON schema documented above. */
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
 
 /** Emit one run as a JSON object (config/workload/stats/counters/...). */
 void writeSimStatsJson(JsonWriter &w, const SimStats &s);
+
+/** Emit a path-keyed span-aggregate table as a JSON object (the value
+ *  of "host.spans" and "profile.spans"). */
+void writeSpanProfileJson(JsonWriter &w, const SpanProfile &p);
+
+/** Emit a whole-process profile as the top-level "profile" value. */
+void writeProfileBlockJson(JsonWriter &w, const ProfileBlock &p);
 
 /** CSV header matching writeRunCsvRow's columns. */
 void writeRunsCsvHeader(std::ostream &os);

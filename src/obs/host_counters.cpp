@@ -1,0 +1,140 @@
+#include "obs/host_counters.h"
+
+#include <cstring>
+#include <ctime>
+
+#include "common/env.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace btbsim::obs {
+
+namespace {
+
+std::uint64_t
+threadCpuNs()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+    return 0;
+}
+
+#if defined(__linux__)
+long
+perfEventOpen(perf_event_attr *attr, int group_fd)
+{
+    // pid 0 / cpu -1: measure the calling thread on any CPU.
+    return syscall(SYS_perf_event_open, attr, 0, -1, group_fd, 0);
+}
+
+int
+openHwCounter(std::uint64_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = config;
+    attr.disabled = group_fd < 0 ? 1 : 0; // Leader starts disabled.
+    attr.exclude_kernel = 1;              // Lower paranoia requirement.
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return static_cast<int>(perfEventOpen(&attr, group_fd));
+}
+#endif
+
+} // namespace
+
+HostCounters::Values
+HostCounters::Values::minus(const Values &o) const
+{
+    auto sub = [](std::uint64_t a, std::uint64_t b) {
+        return a >= b ? a - b : 0;
+    };
+    Values d;
+    d.cycles = sub(cycles, o.cycles);
+    d.instructions = sub(instructions, o.instructions);
+    d.branch_misses = sub(branch_misses, o.branch_misses);
+    d.cache_misses = sub(cache_misses, o.cache_misses);
+    d.task_clock_ns = sub(task_clock_ns, o.task_clock_ns);
+    return d;
+}
+
+bool
+HostCounters::wantedFromEnv()
+{
+    return !env::disabled("BTBSIM_HOST_COUNTERS");
+}
+
+HostCounters::HostCounters(bool want)
+{
+#if defined(__linux__)
+    if (!want)
+        return;
+    // One group, read atomically: cycles leads; instructions, branch
+    // misses and cache misses join it. Any failure (perf_event_paranoid,
+    // seccomp, missing PMU) degrades the whole group to unavailable.
+    static constexpr std::uint64_t kConfigs[4] = {
+        PERF_COUNT_HW_CPU_CYCLES,
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_BRANCH_MISSES,
+        PERF_COUNT_HW_CACHE_MISSES,
+    };
+    for (int i = 0; i < 4; ++i) {
+        fds_[i] = openHwCounter(kConfigs[i], i == 0 ? -1 : fds_[0]);
+        if (fds_[i] < 0) {
+            for (int j = 0; j < i; ++j) {
+                close(fds_[j]);
+                fds_[j] = -1;
+            }
+            return;
+        }
+    }
+    group_fd_ = fds_[0];
+    ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#else
+    (void)want;
+#endif
+}
+
+HostCounters::~HostCounters()
+{
+#if defined(__linux__)
+    for (int fd : fds_)
+        if (fd >= 0)
+            close(fd);
+#endif
+}
+
+HostCounters::Values
+HostCounters::read() const
+{
+    Values v;
+    v.task_clock_ns = threadCpuNs();
+#if defined(__linux__)
+    if (group_fd_ < 0)
+        return v;
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+    std::uint64_t buf[1 + 4] = {};
+    const ssize_t n = ::read(group_fd_, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(sizeof(buf)) || buf[0] != 4)
+        return v;
+    v.cycles = buf[1];
+    v.instructions = buf[2];
+    v.branch_misses = buf[3];
+    v.cache_misses = buf[4];
+#endif
+    return v;
+}
+
+} // namespace btbsim::obs

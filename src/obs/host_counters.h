@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Host microarchitectural counters for the profiling layer: one
+ * perf_event_open group per thread sampling cycles, instructions,
+ * branch misses and cache misses of the *simulator process itself* —
+ * the most direct profile of a BTB simulator's hot loop is the host's
+ * own branch-miss counter. Thread CPU time (task clock) comes from
+ * CLOCK_THREAD_CPUTIME_ID, which needs no privileges.
+ *
+ * Availability is feature-detected at construction: containers and CI
+ * runners with perf_event_paranoid locked down (or non-Linux hosts)
+ * simply report available() == false and read() returns task-clock-only
+ * values — callers degrade to timestamps and the result JSON records
+ * host.counters_available = 0 instead of failing. BTBSIM_HOST_COUNTERS=0
+ * forces the fallback (used by tests to pin down that path).
+ */
+
+#ifndef BTBSIM_OBS_HOST_COUNTERS_H
+#define BTBSIM_OBS_HOST_COUNTERS_H
+
+#include <cstdint>
+
+namespace btbsim::obs {
+
+/**
+ * A per-thread group of host performance counters. Open it on the
+ * thread it should measure (the fds are bound to the calling thread);
+ * instances are not thread-safe and must not be shared.
+ */
+class HostCounters
+{
+  public:
+    /** Cumulative counter values; deltas of two read()s profile a span. */
+    struct Values
+    {
+        std::uint64_t cycles = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t branch_misses = 0;
+        std::uint64_t cache_misses = 0;
+        std::uint64_t task_clock_ns = 0; ///< Thread CPU time.
+
+        Values minus(const Values &o) const;
+    };
+
+    /** @p want false skips the perf syscalls entirely (fallback mode). */
+    explicit HostCounters(bool want = true);
+    ~HostCounters();
+
+    HostCounters(const HostCounters &) = delete;
+    HostCounters &operator=(const HostCounters &) = delete;
+
+    /** True when the perf group opened; task clock works regardless. */
+    bool available() const { return group_fd_ >= 0; }
+
+    /** Current values (one group read); hardware fields are zero when
+     *  unavailable, task_clock_ns is always live. */
+    Values read() const;
+
+    /** BTBSIM_HOST_COUNTERS: unset/non-0 = attempt perf, 0 = off. */
+    static bool wantedFromEnv();
+
+  private:
+    int group_fd_ = -1; ///< Leader (cycles); -1 when unavailable.
+    int fds_[4] = {-1, -1, -1, -1};
+};
+
+} // namespace btbsim::obs
+
+#endif // BTBSIM_OBS_HOST_COUNTERS_H

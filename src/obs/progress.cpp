@@ -1,0 +1,75 @@
+#include "obs/progress.h"
+
+#include <cstdlib>
+
+#include "common/env.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#define BTBSIM_DUP _dup
+#define BTBSIM_FDOPEN _fdopen
+#else
+#include <unistd.h>
+#define BTBSIM_DUP dup
+#define BTBSIM_FDOPEN fdopen
+#endif
+
+namespace btbsim::obs {
+
+ProgressStream::~ProgressStream()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+std::unique_ptr<ProgressStream>
+ProgressStream::openFromEnv()
+{
+    const std::string fd_str = env::raw("BTBSIM_PROGRESS_FD");
+    if (!fd_str.empty()) {
+        char *end = nullptr;
+        const long fd = std::strtol(fd_str.c_str(), &end, 10);
+        if (end && *end == '\0' && fd >= 0)
+            return fromFd(static_cast<int>(fd));
+        return nullptr;
+    }
+    const std::string path = env::raw("BTBSIM_PROGRESS_FILE");
+    if (!path.empty())
+        return fromFile(path);
+    return nullptr;
+}
+
+std::unique_ptr<ProgressStream>
+ProgressStream::fromFd(int fd)
+{
+    const int dup_fd = BTBSIM_DUP(fd);
+    if (dup_fd < 0)
+        return nullptr;
+    std::FILE *f = BTBSIM_FDOPEN(dup_fd, "a");
+    if (!f)
+        return nullptr;
+    return std::unique_ptr<ProgressStream>(new ProgressStream(f));
+}
+
+std::unique_ptr<ProgressStream>
+ProgressStream::fromFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f)
+        return nullptr;
+    return std::unique_ptr<ProgressStream>(new ProgressStream(f));
+}
+
+void
+ProgressStream::emitLine(const std::string &json_line)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    // A broken pipe / full disk silently stops the stream; the sweep
+    // itself must not notice.
+    if (std::fputs(json_line.c_str(), f_) < 0)
+        return;
+    std::fputc('\n', f_);
+    std::fflush(f_);
+}
+
+} // namespace btbsim::obs

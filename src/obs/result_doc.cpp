@@ -1,0 +1,211 @@
+#include "obs/result_doc.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace btbsim::obs {
+
+namespace {
+
+double
+numberOr(const JsonValue &v, std::string_view key, double fallback)
+{
+    const JsonValue *m = v.find(key);
+    return m && m->isNumber() ? m->number : fallback;
+}
+
+std::uint64_t
+u64Or(const JsonValue &v, std::string_view key, std::uint64_t fallback)
+{
+    return static_cast<std::uint64_t>(
+        numberOr(v, key, static_cast<double>(fallback)));
+}
+
+SpanAgg
+parseSpanAgg(const JsonValue &v)
+{
+    SpanAgg a;
+    a.count = u64Or(v, "count", 0);
+    a.wall_ns = u64Or(v, "wall_ns", 0);
+    a.tsc = u64Or(v, "tsc", 0);
+    a.cycles = u64Or(v, "cycles", 0);
+    a.instructions = u64Or(v, "instructions", 0);
+    a.branch_misses = u64Or(v, "branch_misses", 0);
+    a.cache_misses = u64Or(v, "cache_misses", 0);
+    a.task_clock_ns = u64Or(v, "task_clock_ns", 0);
+    return a;
+}
+
+SpanProfile
+parseSpanTable(const JsonValue &spans)
+{
+    SpanProfile out;
+    for (const auto &[path, agg] : spans.object)
+        out[path] = parseSpanAgg(agg);
+    return out;
+}
+
+} // namespace
+
+SpanProfile
+ResultDoc::mergedSpans() const
+{
+    // The whole-process profile block already aggregates every span,
+    // including the ones each run's host.spans re-states as a per-run
+    // slice — summing both would double-count. Runs are the fallback
+    // for documents without a profile block.
+    if (has_profile && !profile.spans.empty())
+        return profile.spans;
+    SpanProfile out;
+    for (const DocRun &r : runs)
+        for (const auto &[path, agg] : r.spans)
+            out[path] += agg;
+    return out;
+}
+
+bool
+ResultDoc::mergedCountersAvailable() const
+{
+    if (has_profile && profile.counters_available)
+        return true;
+    for (const DocRun &r : runs)
+        if (r.counters_available)
+            return true;
+    return false;
+}
+
+ResultDoc
+parseResultDoc(const JsonValue &root, const std::string &origin)
+{
+    ResultDoc doc;
+    doc.schema_version =
+        static_cast<int>(root.at("schema_version").asNumber());
+    // Compat shim: v1 documents (pre-profiling) parse with empty span
+    // data; anything newer than the build is rejected loudly.
+    if (doc.schema_version < 1 || doc.schema_version > kSchemaVersion)
+        throw std::runtime_error(
+            origin + ": unsupported schema_version " +
+            std::to_string(doc.schema_version) + " (tool supports 1.." +
+            std::to_string(kSchemaVersion) + ")");
+    if (const JsonValue *b = root.find("bench"))
+        doc.bench = b->isString() ? b->str : "";
+
+    for (const JsonValue &r : root.at("runs").array) {
+        DocRun run;
+        run.config = r.at("config").asString();
+        run.workload = r.at("workload").asString();
+        const JsonValue &stats = r.at("stats");
+        run.ipc = stats.at("ipc").asNumber();
+        run.branch_mpki = numberOr(stats, "branch_mpki", 0.0);
+
+        if (const JsonValue *s = r.find("samples")) {
+            run.sample_interval = u64Or(*s, "interval_cycles", 0);
+            if (const JsonValue *pts = s->find("points")) {
+                for (const JsonValue &pv : pts->array) {
+                    IntervalSample p;
+                    p.cycle = u64Or(pv, "cycle", 0);
+                    p.instructions = u64Or(pv, "instructions", 0);
+                    p.ipc = numberOr(pv, "ipc", 0.0);
+                    p.l1_btb_hitrate = numberOr(pv, "l1_btb_hitrate", 0.0);
+                    p.btb_hitrate = numberOr(pv, "btb_hitrate", 0.0);
+                    p.branch_mpki = numberOr(pv, "branch_mpki", 0.0);
+                    p.misfetch_pki = numberOr(pv, "misfetch_pki", 0.0);
+                    p.ftq_occupancy = numberOr(pv, "ftq_occupancy", 0.0);
+                    p.icache_mpki = numberOr(pv, "icache_mpki", 0.0);
+                    run.samples.push_back(p);
+                }
+            }
+        }
+
+        if (const JsonValue *h = r.find("host")) {
+            run.counters_available = numberOr(*h, "counters_available",
+                                              0.0) != 0.0;
+            if (const JsonValue *spans = h->find("spans"))
+                run.spans = parseSpanTable(*spans);
+        }
+        doc.runs.push_back(std::move(run));
+    }
+
+    if (const JsonValue *p = root.find("profile")) {
+        doc.has_profile = true;
+        doc.profile.total_spans = u64Or(*p, "total_spans", 0);
+        doc.profile.dropped = u64Or(*p, "dropped", 0);
+        doc.profile.threads =
+            static_cast<std::uint32_t>(u64Or(*p, "threads", 0));
+        doc.profile.counters_available =
+            numberOr(*p, "counters_available", 0.0) != 0.0;
+        if (const JsonValue *spans = p->find("spans"))
+            doc.profile.spans = parseSpanTable(*spans);
+    }
+    return doc;
+}
+
+ResultDoc
+loadResultDoc(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return parseResultDoc(parseJson(buf.str()), path);
+}
+
+std::string
+sparkline(const std::vector<double> &v, std::size_t max_points)
+{
+    if (v.empty() || max_points == 0)
+        return {};
+
+    // Downsample to max_points by averaging adjacent buckets.
+    std::vector<double> pts;
+    if (v.size() <= max_points) {
+        pts = v;
+    } else {
+        pts.reserve(max_points);
+        for (std::size_t b = 0; b < max_points; ++b) {
+            const std::size_t lo = b * v.size() / max_points;
+            std::size_t hi = (b + 1) * v.size() / max_points;
+            if (hi <= lo)
+                hi = lo + 1;
+            double sum = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                sum += v[i];
+            pts.push_back(sum / static_cast<double>(hi - lo));
+        }
+    }
+
+    double mn = pts[0], mx = pts[0];
+    for (double x : pts) {
+        if (x < mn)
+            mn = x;
+        if (x > mx)
+            mx = x;
+    }
+
+    // U+2581..U+2588, one UTF-8 triplet per level.
+    static const char *kBlocks[8] = {"▁", "▂", "▃",
+                                     "▄", "▅", "▆",
+                                     "▇", "█"};
+    std::string out;
+    out.reserve(pts.size() * 3);
+    const double range = mx - mn;
+    for (double x : pts) {
+        int lvl = 3; // Constant series render mid-height.
+        if (range > 0) {
+            lvl = static_cast<int>((x - mn) / range * 7.0 + 0.5);
+            if (lvl < 0)
+                lvl = 0;
+            if (lvl > 7)
+                lvl = 7;
+        }
+        out += kBlocks[lvl];
+    }
+    return out;
+}
+
+} // namespace btbsim::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Loader for btbsim result JSON shared by tools/btbsim-stats and the
+ * tests: accepts schema v1 (PR 1, no profiling data) and v2 (adds the
+ * per-run host span table and the top-level "profile" block) through one
+ * Document, so `show`/`diff`/`prof` work on both and old result files
+ * stay comparable. Version-specific fields simply come back empty for
+ * v1 documents.
+ */
+
+#ifndef BTBSIM_OBS_RESULT_DOC_H
+#define BTBSIM_OBS_RESULT_DOC_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.h"
+#include "obs/span.h"
+
+namespace btbsim::obs {
+
+struct JsonValue;
+
+/** One entry of the "runs" array, as the tools consume it. */
+struct DocRun
+{
+    std::string config;
+    std::string workload;
+    double ipc = 0.0;
+    double branch_mpki = 0.0;
+
+    /** Interval time series ("samples.points"); empty when absent. */
+    std::uint64_t sample_interval = 0;
+    std::vector<IntervalSample> samples;
+
+    /** Host span table of this run (schema v2; empty for v1). */
+    SpanProfile spans;
+    bool counters_available = false;
+};
+
+/** A parsed result document (schema v1 or v2). */
+struct ResultDoc
+{
+    int schema_version = 0;
+    std::string bench;
+    std::vector<DocRun> runs;
+
+    /** Top-level "profile" block (v2); has_profile false for v1. */
+    bool has_profile = false;
+    ProfileBlock profile;
+
+    /**
+     * The complete span tree `btbsim-stats prof` renders: the process
+     * profile block when present (it already contains every run's
+     * spans), otherwise the runs' host.spans summed. Counter
+     * availability is the OR over the profile block and all runs.
+     */
+    SpanProfile mergedSpans() const;
+    bool mergedCountersAvailable() const;
+};
+
+/** Parse @p root; @p origin names the source in error messages. Throws
+ *  std::runtime_error on malformed documents or unsupported versions. */
+ResultDoc parseResultDoc(const JsonValue &root, const std::string &origin);
+
+/** Read and parse @p path (throws std::runtime_error). */
+ResultDoc loadResultDoc(const std::string &path);
+
+/**
+ * Unicode block-character sparkline of @p v scaled to its own min..max
+ * ("▁▂▃▅▇█"); constant series render mid-height. Empty input -> "".
+ * @p max_points caps the width by averaging adjacent points.
+ */
+std::string sparkline(const std::vector<double> &v,
+                      std::size_t max_points = 32);
+
+} // namespace btbsim::obs
+
+#endif // BTBSIM_OBS_RESULT_DOC_H

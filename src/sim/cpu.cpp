@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "check/checker.h"
+#include "obs/span.h"
 #include "trace/program.h"
 
 namespace btbsim {
@@ -201,12 +202,16 @@ Cpu::run(std::uint64_t warmup, std::uint64_t measure)
     const Cycle cycle_guard_per_inst = 400;
     std::uint64_t guard =
         (warmup + measure) * cycle_guard_per_inst + 1'000'000;
-    while (backend_.committed() < warmup) {
-        step();
-        if (now_ > guard) {
-            std::fprintf(stderr, "btbsim: deadlock guard hit (%s / %s)\n",
-                         stats_.workload.c_str(), stats_.config.c_str());
-            std::abort();
+    {
+        obs::ObsSpan span("warmup");
+        while (backend_.committed() < warmup) {
+            step();
+            if (now_ > guard) {
+                std::fprintf(stderr,
+                             "btbsim: deadlock guard hit (%s / %s)\n",
+                             stats_.workload.c_str(), stats_.config.c_str());
+                std::abort();
+            }
         }
     }
 
@@ -217,32 +222,37 @@ Cpu::run(std::uint64_t warmup, std::uint64_t measure)
     const std::uint64_t i_miss0 = mem_.l1i().demandMisses();
 
     // ---- measure ---------------------------------------------------------
-    const std::uint64_t sample_period = 1'000'000;
-    std::uint64_t next_sample = insts0 + sample_period;
-    const std::uint64_t end = insts0 + measure;
-    obs::Sampler sampler(sample_interval_);
-    ftq_occ_sum_ = 0.0;
-    while (backend_.committed() < end) {
-        step();
-        ftq_occ_sum_ += static_cast<double>(ftq_.size());
-        if (backend_.committed() >= next_sample) {
+    {
+        obs::ObsSpan span("measure");
+        const std::uint64_t sample_period = 1'000'000;
+        std::uint64_t next_sample = insts0 + sample_period;
+        const std::uint64_t end = insts0 + measure;
+        obs::Sampler sampler(sample_interval_);
+        ftq_occ_sum_ = 0.0;
+        while (backend_.committed() < end) {
+            step();
+            ftq_occ_sum_ += static_cast<double>(ftq_.size());
+            if (backend_.committed() >= next_sample) {
+                sampleStructures();
+                next_sample += sample_period;
+            }
+            if (sampler.due(now_ - cycles0))
+                sampler.sample(sampleSnapshot(cycles0, insts0, pg0, i_miss0));
+            if (now_ > guard) {
+                std::fprintf(stderr,
+                             "btbsim: deadlock guard hit (%s / %s)\n",
+                             stats_.workload.c_str(), stats_.config.c_str());
+                std::abort();
+            }
+        }
+        if (occ_samples_ == 0.0)
             sampleStructures();
-            next_sample += sample_period;
-        }
-        if (sampler.due(now_ - cycles0))
-            sampler.sample(sampleSnapshot(cycles0, insts0, pg0, i_miss0));
-        if (now_ > guard) {
-            std::fprintf(stderr, "btbsim: deadlock guard hit (%s / %s)\n",
-                         stats_.workload.c_str(), stats_.config.c_str());
-            std::abort();
-        }
+        stats_.sample_interval = sampler.interval();
+        stats_.samples = sampler.take();
     }
-    if (occ_samples_ == 0.0)
-        sampleStructures();
-    stats_.sample_interval = sampler.interval();
-    stats_.samples = sampler.take();
 
     // ---- reduce ----------------------------------------------------------
+    obs::ObsSpan reduce_span("reduce");
     const PcGenStats &pg = pcgen_.stats;
     const double insts =
         static_cast<double>(backend_.committed() - insts0);

@@ -174,7 +174,8 @@ ResultSet::printPerWorkload(std::ostream &os, const std::string &config) const
 void
 ResultSet::writeJson(std::ostream &os, const std::string &bench,
                      const std::string &baseline,
-                     const std::map<std::string, double> *experiment) const
+                     const std::map<std::string, double> *experiment,
+                     const obs::ProfileBlock *profile) const
 {
     obs::JsonWriter w(os);
     w.beginObject();
@@ -210,6 +211,11 @@ ResultSet::writeJson(std::ostream &os, const std::string &bench,
         for (const auto &[name, v] : *experiment)
             w.kv(name, v);
         w.endObject();
+    }
+
+    if (profile) {
+        w.key("profile");
+        obs::writeProfileBlockJson(w, *profile);
     }
 
     w.endObject();

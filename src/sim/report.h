@@ -65,12 +65,14 @@ class ResultSet
      * @p experiment, when non-null, is emitted as a top-level
      * "experiment" object (the engine's exp.* progress/cache metrics);
      * the "runs" array is unaffected, so cached and cold sweeps stay
-     * comparable byte for byte.
+     * comparable byte for byte. @p profile, when non-null, is emitted as
+     * the top-level "profile" object (the whole-process host span
+     * aggregate from obs::SpanCollector::profile()).
      */
     void writeJson(std::ostream &os, const std::string &bench,
                    const std::string &baseline,
-                   const std::map<std::string, double> *experiment =
-                       nullptr) const;
+                   const std::map<std::string, double> *experiment = nullptr,
+                   const obs::ProfileBlock *profile = nullptr) const;
 
     /** One CSV row per (config, workload) run. */
     void writeCsv(std::ostream &os) const;

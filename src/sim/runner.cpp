@@ -10,6 +10,7 @@
 #include "common/env.h"
 #include "exp/experiment.h"
 #include "obs/export.h"
+#include "obs/span.h"
 #include "obs/tracer.h"
 #include "sim/cpu.h"
 #include "traceio/replay_env.h"
@@ -54,49 +55,73 @@ RunOptions::fromEnv()
 SimStats
 runOne(const CpuConfig &cfg, const WorkloadSpec &spec, const RunOptions &opt)
 {
-    // Live-generated workload, or a recorded .btbt replay when
-    // BTBSIM_TRACE_DIR holds one. A fresh source per run keeps
-    // concurrent runMatrix workers isolated (TraceSource instances are
-    // not shareable across threads).
-    auto opened = traceio::openWorkloadSource(spec);
-    Cpu cpu(cfg, *opened.source);
+    // The spans completed on this thread between the two marks become
+    // the run's own profile slice (SimStats::span_profile -> the result
+    // JSON's host.spans). The "run" span must close before the diff, so
+    // the whole body lives in an inner scope.
+    obs::SpanCollector &spans = obs::SpanCollector::instance();
+    const obs::SpanCollector::ThreadMark span_mark = spans.mark();
 
-    std::unique_ptr<obs::Tracer> tracer;
-    if (obs::Tracer::enabledFromEnv()) {
-        tracer = std::make_unique<obs::Tracer>(obs::Tracer::capacityFromEnv());
-        cpu.attachTracer(tracer.get());
+    SimStats s;
+    {
+        obs::ObsSpan run_span("run");
+
+        // Live-generated workload, or a recorded .btbt replay when
+        // BTBSIM_TRACE_DIR holds one. A fresh source per run keeps
+        // concurrent runMatrix workers isolated (TraceSource instances
+        // are not shareable across threads).
+        std::unique_ptr<Cpu> cpu;
+        traceio::OpenedSource opened;
+        std::unique_ptr<obs::Tracer> tracer;
+        {
+            obs::ObsSpan init_span("init");
+            opened = traceio::openWorkloadSource(spec);
+            cpu = std::make_unique<Cpu>(cfg, *opened.source);
+            if (obs::Tracer::enabledFromEnv()) {
+                tracer = std::make_unique<obs::Tracer>(
+                    obs::Tracer::capacityFromEnv());
+                cpu->attachTracer(tracer.get());
+            }
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        cpu->run(opt.warmup, opt.measure);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        s = cpu->stats();
+        s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+        const double total_insts = static_cast<double>(opt.warmup) +
+                                   static_cast<double>(s.instructions);
+        s.minst_per_host_sec =
+            s.host_seconds > 0 ? total_insts / 1e6 / s.host_seconds : 0.0;
+
+        // Raw instruction-delivery throughput of the source, measured by
+        // draining it outside the timing model (capped so big runs don't
+        // pay twice). Replay should beat generate+interpret here.
+        s.source_kind = opened.replay ? "replay" : "generated";
+        const std::uint64_t drain =
+            std::min<std::uint64_t>(opt.warmup + opt.measure, 2'000'000);
+        if (drain > 0) {
+            obs::ObsSpan drain_span("source_drain");
+            opened.source->reset();
+            const auto d0 = std::chrono::steady_clock::now();
+            for (std::uint64_t i = 0; i < drain; ++i)
+                opened.source->next();
+            const auto d1 = std::chrono::steady_clock::now();
+            const double secs =
+                std::chrono::duration<double>(d1 - d0).count();
+            s.source_minst_per_sec =
+                secs > 0 ? static_cast<double>(drain) / 1e6 / secs : 0.0;
+        }
+
+        if (tracer) {
+            obs::ObsSpan dump_span("trace_dump");
+            dumpTrace(*tracer, s);
+        }
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    cpu.run(opt.warmup, opt.measure);
-    const auto t1 = std::chrono::steady_clock::now();
-
-    SimStats s = cpu.stats();
-    s.host_seconds = std::chrono::duration<double>(t1 - t0).count();
-    const double total_insts =
-        static_cast<double>(opt.warmup) + static_cast<double>(s.instructions);
-    s.minst_per_host_sec =
-        s.host_seconds > 0 ? total_insts / 1e6 / s.host_seconds : 0.0;
-
-    // Raw instruction-delivery throughput of the source, measured by
-    // draining it outside the timing model (capped so big runs don't
-    // pay twice). Replay should beat generate+interpret here.
-    s.source_kind = opened.replay ? "replay" : "generated";
-    const std::uint64_t drain =
-        std::min<std::uint64_t>(opt.warmup + opt.measure, 2'000'000);
-    if (drain > 0) {
-        opened.source->reset();
-        const auto d0 = std::chrono::steady_clock::now();
-        for (std::uint64_t i = 0; i < drain; ++i)
-            opened.source->next();
-        const auto d1 = std::chrono::steady_clock::now();
-        const double secs = std::chrono::duration<double>(d1 - d0).count();
-        s.source_minst_per_sec =
-            secs > 0 ? static_cast<double>(drain) / 1e6 / secs : 0.0;
-    }
-
-    if (tracer)
-        dumpTrace(*tracer, s);
+    s.span_profile = spans.aggregateSince(span_mark);
+    s.host_counters_available = spans.countersAvailable();
     return s;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/sampler.h"
+#include "obs/span.h"
 
 namespace btbsim {
 
@@ -55,6 +56,11 @@ struct SimStats
     std::map<std::string, double> counters; ///< "component.stat" -> value.
     double host_seconds = 0.0;          ///< Wall time of the whole run.
     double minst_per_host_sec = 0.0;    ///< Sim speed (M instr / host s).
+    /// Host spans completed on the running thread during this run
+    /// (paths like "run/measure"); empty when BTBSIM_SPANS=0.
+    obs::SpanProfile span_profile;
+    /// Whether span_profile carries real perf-counter columns.
+    bool host_counters_available = false;
 
     /// How the instruction stream was produced: "generated" (synthetic
     /// program interpreted live) or "replay" (recorded .btbt trace).

@@ -1,15 +1,27 @@
 /**
  * @file
- * btbsim-stats — inspect and compare btbsim result JSON (schema v1, see
- * obs/export.h).
+ * btbsim-stats — inspect and compare btbsim result JSON (schema v1/v2,
+ * see obs/export.h; loading goes through obs/result_doc.h so every
+ * command accepts both versions).
  *
  *   btbsim-stats show <file.json>
- *       Validate the file and print per-config aggregates.
+ *       Validate the file and print per-config aggregates, with a
+ *       sparkline of the interval IPC time series when present.
  *
  *   btbsim-stats diff <old.json> <new.json> [--threshold FRAC]
  *       Match runs by (config, workload), compare per-config geomean IPC
  *       and exit 1 when any config regresses by more than FRAC (default
  *       0.02 = 2%). Used by CI as a regression gate.
+ *
+ *   btbsim-stats prof <file.json>
+ *       Render the host span profile as an indented tree: where the
+ *       simulator itself spent its time (warmup vs measure vs export,
+ *       experiment-engine stages), with host perf-counter columns
+ *       (simulator IPC, branch MPKI) when the producing run had
+ *       perf_event_open access.
+ *
+ *   btbsim-stats prof --compare <a.json> <b.json>
+ *       Side-by-side wall-time comparison of two profiles by span path.
  *
  *   btbsim-stats env [--markdown]
  *       Dump every BTBSIM_* knob the simulator honours (common/env.h
@@ -22,72 +34,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
-#include "obs/export.h"
-#include "obs/json.h"
+#include "obs/result_doc.h"
 
 namespace {
 
-using btbsim::obs::JsonValue;
-
-struct Run
-{
-    std::string config;
-    std::string workload;
-    double ipc = 0.0;
-    double branch_mpki = 0.0;
-    std::size_t sample_points = 0;
-};
-
-struct Document
-{
-    int schema_version = 0;
-    std::string bench;
-    std::vector<Run> runs;
-};
-
-Document
-loadDocument(const std::string &path)
-{
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    const JsonValue root = btbsim::obs::parseJson(buf.str());
-
-    Document doc;
-    doc.schema_version =
-        static_cast<int>(root.at("schema_version").asNumber());
-    if (doc.schema_version != btbsim::obs::kSchemaVersion)
-        throw std::runtime_error(
-            path + ": unsupported schema_version " +
-            std::to_string(doc.schema_version) + " (tool supports " +
-            std::to_string(btbsim::obs::kSchemaVersion) + ")");
-    if (const JsonValue *b = root.find("bench"))
-        doc.bench = b->isString() ? b->str : "";
-
-    for (const JsonValue &r : root.at("runs").array) {
-        Run run;
-        run.config = r.at("config").asString();
-        run.workload = r.at("workload").asString();
-        const JsonValue &stats = r.at("stats");
-        run.ipc = stats.at("ipc").asNumber();
-        if (const JsonValue *m = stats.find("branch_mpki"))
-            run.branch_mpki = m->isNumber() ? m->number : 0.0;
-        if (const JsonValue *s = r.find("samples"))
-            if (const JsonValue *pts = s->find("points"))
-                run.sample_points = pts->array.size();
-        doc.runs.push_back(std::move(run));
-    }
-    return doc;
-}
+using btbsim::obs::DocRun;
+using btbsim::obs::ResultDoc;
+using btbsim::obs::SpanAgg;
+using btbsim::obs::SpanProfile;
 
 double
 geomean(const std::vector<double> &v)
@@ -103,10 +62,10 @@ geomean(const std::vector<double> &v)
 }
 
 std::map<std::string, std::vector<double>>
-ipcByConfig(const Document &doc)
+ipcByConfig(const ResultDoc &doc)
 {
     std::map<std::string, std::vector<double>> out;
-    for (const Run &r : doc.runs)
+    for (const DocRun &r : doc.runs)
         out[r.config].push_back(r.ipc);
     return out;
 }
@@ -114,18 +73,26 @@ ipcByConfig(const Document &doc)
 int
 cmdShow(const std::string &path)
 {
-    const Document doc = loadDocument(path);
+    const ResultDoc doc = btbsim::obs::loadResultDoc(path);
     std::printf("%s: schema v%d, bench \"%s\", %zu runs\n", path.c_str(),
                 doc.schema_version, doc.bench.c_str(), doc.runs.size());
-    std::printf("%-32s %6s %12s %10s\n", "config", "runs", "geomean IPC",
-                "samples");
-    std::printf("%s\n", std::string(64, '-').c_str());
+    std::printf("%-32s %6s %12s %9s  %s\n", "config", "runs", "geomean IPC",
+                "samples", "ipc over time");
+    std::printf("%s\n", std::string(96, '-').c_str());
+
+    // Per-config sample tally and interval-IPC series (runs in file
+    // order, concatenated — a coarse shape, not a per-run plot).
     std::map<std::string, std::size_t> samples;
-    for (const Run &r : doc.runs)
-        samples[r.config] += r.sample_points;
+    std::map<std::string, std::vector<double>> series;
+    for (const DocRun &r : doc.runs) {
+        samples[r.config] += r.samples.size();
+        for (const btbsim::obs::IntervalSample &p : r.samples)
+            series[r.config].push_back(p.ipc);
+    }
     for (const auto &[cfg, ipcs] : ipcByConfig(doc))
-        std::printf("%-32s %6zu %12.3f %10zu\n", cfg.c_str(), ipcs.size(),
-                    geomean(ipcs), samples[cfg]);
+        std::printf("%-32s %6zu %12.3f %9zu  %s\n", cfg.c_str(),
+                    ipcs.size(), geomean(ipcs), samples[cfg],
+                    btbsim::obs::sparkline(series[cfg]).c_str());
     return 0;
 }
 
@@ -133,17 +100,17 @@ int
 cmdDiff(const std::string &old_path, const std::string &new_path,
         double threshold)
 {
-    const Document a = loadDocument(old_path);
-    const Document b = loadDocument(new_path);
+    const ResultDoc a = btbsim::obs::loadResultDoc(old_path);
+    const ResultDoc b = btbsim::obs::loadResultDoc(new_path);
 
     std::map<std::pair<std::string, std::string>, double> old_ipc;
-    for (const Run &r : a.runs)
+    for (const DocRun &r : a.runs)
         old_ipc[{r.config, r.workload}] = r.ipc;
 
     // Per-config geomean over the runs present in BOTH files.
     std::map<std::string, std::vector<double>> old_by_cfg, new_by_cfg;
     std::size_t matched = 0;
-    for (const Run &r : b.runs) {
+    for (const DocRun &r : b.runs) {
         auto it = old_ipc.find({r.config, r.workload});
         if (it == old_ipc.end())
             continue;
@@ -186,6 +153,153 @@ cmdDiff(const std::string &old_path, const std::string &new_path,
     return 0;
 }
 
+// ---- prof ---------------------------------------------------------------
+
+std::uint16_t
+pathDepth(const std::string &path)
+{
+    std::uint16_t d = 0;
+    for (char c : path)
+        if (c == '/')
+            ++d;
+    return d;
+}
+
+std::string
+pathLeaf(const std::string &path)
+{
+    const std::size_t pos = path.rfind('/');
+    return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+/** Wall time summed over root-level paths — the denominator of "%". */
+std::uint64_t
+rootWallNs(const SpanProfile &spans)
+{
+    std::uint64_t total = 0;
+    for (const auto &[path, a] : spans)
+        if (pathDepth(path) == 0)
+            total += a.wall_ns;
+    return total;
+}
+
+int
+cmdProf(const std::string &path)
+{
+    const ResultDoc doc = btbsim::obs::loadResultDoc(path);
+    const SpanProfile spans = doc.mergedSpans();
+    const bool have_counters = doc.mergedCountersAvailable();
+
+    std::printf("%s: schema v%d, bench \"%s\", %zu runs\n", path.c_str(),
+                doc.schema_version, doc.bench.c_str(), doc.runs.size());
+    if (spans.empty()) {
+        std::printf("no host span profile in this document%s\n",
+                    doc.schema_version < 2
+                        ? " (schema v1 predates profiling)"
+                        : " (BTBSIM_SPANS=0 when it was produced?)");
+        return 0;
+    }
+    if (doc.has_profile)
+        std::printf("profile: %llu spans on %u thread(s), %llu trace "
+                    "record(s) dropped\n",
+                    static_cast<unsigned long long>(doc.profile.total_spans),
+                    doc.profile.threads,
+                    static_cast<unsigned long long>(doc.profile.dropped));
+    std::printf("host counters: %s\n\n",
+                have_counters ? "available (perf_event_open)"
+                              : "unavailable — timestamps only");
+
+    std::printf("%-36s %8s %10s %6s %9s", "span", "count", "wall(s)", "%",
+                "avg(ms)");
+    if (have_counters)
+        std::printf(" %6s %8s %6s", "IPC", "brMPKI", "cpu%");
+    std::printf("\n%s\n", std::string(have_counters ? 102 : 78, '-').c_str());
+
+    // std::map iterates paths lexicographically, so every span follows
+    // its ancestors; indentation by depth renders the tree.
+    const double total_ns = static_cast<double>(rootWallNs(spans));
+    for (const auto &[span_path, a] : spans) {
+        const std::uint16_t depth = pathDepth(span_path);
+        const std::string label =
+            std::string(2 * depth, ' ') + pathLeaf(span_path);
+        const double wall_s = static_cast<double>(a.wall_ns) / 1e9;
+        const double pct =
+            total_ns > 0
+                ? static_cast<double>(a.wall_ns) / total_ns * 100.0
+                : 0.0;
+        const double avg_ms =
+            a.count > 0
+                ? static_cast<double>(a.wall_ns) / 1e6 /
+                      static_cast<double>(a.count)
+                : 0.0;
+        std::printf("%-36s %8llu %10.3f %5.1f%% %9.3f", label.c_str(),
+                    static_cast<unsigned long long>(a.count), wall_s, pct,
+                    avg_ms);
+        if (have_counters) {
+            const double ipc =
+                a.cycles > 0 ? static_cast<double>(a.instructions) /
+                                   static_cast<double>(a.cycles)
+                             : 0.0;
+            const double br_mpki =
+                a.instructions > 0
+                    ? static_cast<double>(a.branch_misses) /
+                          static_cast<double>(a.instructions) * 1000.0
+                    : 0.0;
+            const double cpu_pct =
+                a.wall_ns > 0 ? static_cast<double>(a.task_clock_ns) /
+                                    static_cast<double>(a.wall_ns) * 100.0
+                              : 0.0;
+            std::printf(" %6.2f %8.2f %5.0f%%", ipc, br_mpki, cpu_pct);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdProfCompare(const std::string &a_path, const std::string &b_path)
+{
+    const ResultDoc a = btbsim::obs::loadResultDoc(a_path);
+    const ResultDoc b = btbsim::obs::loadResultDoc(b_path);
+    const SpanProfile sa = a.mergedSpans();
+    const SpanProfile sb = b.mergedSpans();
+
+    // Union of paths, lexicographic (tree order).
+    std::map<std::string, std::pair<const SpanAgg *, const SpanAgg *>> all;
+    for (const auto &[p, agg] : sa)
+        all[p].first = &agg;
+    for (const auto &[p, agg] : sb)
+        all[p].second = &agg;
+
+    if (all.empty()) {
+        std::fprintf(stderr, "neither %s nor %s holds a span profile\n",
+                     a_path.c_str(), b_path.c_str());
+        return 2;
+    }
+
+    std::printf("span wall-time comparison: A=%s  B=%s\n\n", a_path.c_str(),
+                b_path.c_str());
+    std::printf("%-36s %10s %10s %9s\n", "span", "A wall(s)", "B wall(s)",
+                "delta");
+    std::printf("%s\n", std::string(70, '-').c_str());
+    for (const auto &[span_path, pair] : all) {
+        const std::string label =
+            std::string(2 * pathDepth(span_path), ' ') + pathLeaf(span_path);
+        const double wa =
+            pair.first ? static_cast<double>(pair.first->wall_ns) / 1e9 : 0.0;
+        const double wb =
+            pair.second ? static_cast<double>(pair.second->wall_ns) / 1e9
+                        : 0.0;
+        if (wa > 0 && wb > 0)
+            std::printf("%-36s %10.3f %10.3f %+8.1f%%\n", label.c_str(), wa,
+                        wb, (wb - wa) / wa * 100.0);
+        else
+            std::printf("%-36s %10.3f %10.3f %9s\n", label.c_str(), wa, wb,
+                        pair.first ? "A only" : "B only");
+    }
+    return 0;
+}
+
 int
 cmdEnv(bool markdown)
 {
@@ -218,6 +332,8 @@ usage()
         stderr,
         "usage: btbsim-stats show <file.json>\n"
         "       btbsim-stats diff <old.json> <new.json> [--threshold F]\n"
+        "       btbsim-stats prof <file.json>\n"
+        "       btbsim-stats prof --compare <a.json> <b.json>\n"
         "       btbsim-stats env [--markdown]\n");
 }
 
@@ -232,6 +348,16 @@ main(int argc, char **argv)
         if (argc >= 2 && std::strcmp(argv[1], "env") == 0)
             return cmdEnv(argc >= 3 &&
                           std::strcmp(argv[2], "--markdown") == 0);
+        if (argc >= 3 && std::strcmp(argv[1], "prof") == 0) {
+            if (std::strcmp(argv[2], "--compare") == 0) {
+                if (argc < 5) {
+                    usage();
+                    return 2;
+                }
+                return cmdProfCompare(argv[3], argv[4]);
+            }
+            return cmdProf(argv[2]);
+        }
         if (argc >= 4 && std::strcmp(argv[1], "diff") == 0) {
             double threshold = 0.02;
             for (int i = 4; i + 1 < argc; ++i)

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/env.h"
+#include "obs/span.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define BTBSIM_HAVE_MMAP 1
@@ -81,6 +82,7 @@ TraceReplaySource::Options::fromEnv()
 TraceReplaySource::TraceReplaySource(const std::string &path, Options opt)
     : path_(path), map_(path, opt.use_mmap)
 {
+    obs::ObsSpan span("replay_open");
     header_ = parseHeader(map_.data(), map_.size());
 
     if (header_.hasProgram()) {
@@ -158,6 +160,7 @@ void
 TraceReplaySource::decodeChunk(std::size_t idx,
                                std::vector<Instruction> &out) const
 {
+    obs::ObsSpan span("replay_decode");
     const Chunk &c = chunks_[idx];
     const std::uint8_t *payload = map_.data() + c.payload_offset;
     if (!crc_checked_[idx].load(std::memory_order_relaxed)) {

@@ -41,8 +41,10 @@ TEST(Env, EveryDocumentedKnobIsRegistered)
          {"BTBSIM_WARMUP", "BTBSIM_MEASURE", "BTBSIM_TRACES",
           "BTBSIM_THREADS", "BTBSIM_RUN_CACHE", "BTBSIM_RESUME",
           "BTBSIM_RETRIES", "BTBSIM_MAX_FAILURES", "BTBSIM_SAMPLE_INTERVAL",
-          "BTBSIM_TRACE", "BTBSIM_TRACE_CAP", "BTBSIM_TRACE_DIR",
-          "BTBSIM_JSON_OUT", "BTBSIM_CSV_OUT"})
+          "BTBSIM_SPANS", "BTBSIM_SPAN_CAP", "BTBSIM_SPAN_OUT",
+          "BTBSIM_HOST_COUNTERS", "BTBSIM_PROGRESS_FD",
+          "BTBSIM_PROGRESS_FILE", "BTBSIM_TRACE", "BTBSIM_TRACE_CAP",
+          "BTBSIM_TRACE_DIR", "BTBSIM_JSON_OUT", "BTBSIM_CSV_OUT"})
         EXPECT_TRUE(env::isKnown(name)) << name;
 }
 
