@@ -76,6 +76,18 @@ knobs()
         {"BTBSIM_REPLAY_CACHE_MB", "256",
          "Decoded-chunk cache budget for replay; 0 streams "
          "chunk-at-a-time."},
+        {"BTBSIM_REPLAY_SHARED", "",
+         "1/0 forces the process-wide shared replay-chunk cache on/off; "
+         "empty follows the shard pool (on once BTBSIM_SHARDS creates "
+         "one)."},
+        // serve (shard pool + daemon)
+        {"BTBSIM_SHARDS", "0",
+         "Worker shards for sweeps: N > 0 routes bench/tool sweeps "
+         "through a persistent in-process shard pool sharing one "
+         "replay-chunk cache; 0 keeps per-sweep threads."},
+        {"BTBSIM_SERVE_SOCKET", "results/btbsim-serve.sock",
+         "Unix socket path of the btbsim-serve daemon (also the "
+         "btbsim-client default)."},
     };
     return table;
 }

@@ -1,5 +1,6 @@
 #include "exp/experiment.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -11,6 +12,7 @@
 #include <thread>
 
 #include "common/env.h"
+#include "exp/journal.h"
 #include "exp/sha256.h"
 #include "obs/export.h"
 #include "obs/progress.h"
@@ -52,6 +54,33 @@ ExperimentResult::counters() const
     std::map<std::string, double> out = reg.flatten();
     out["exp.cache_hit_rate"] = summary.cacheHitRate();
     out["exp.wall_seconds"] = summary.wall_seconds;
+    if (!shards.empty()) {
+        out["exp.shards"] = static_cast<double>(shards.size());
+        double busy_min = -1.0, busy_max = 0.0, busy_sum = 0.0;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const ShardUtil &u = shards[i];
+            const std::string prefix =
+                "exp.shard" + std::to_string(i) + ".";
+            out[prefix + "points"] = static_cast<double>(u.points);
+            out[prefix + "busy_seconds"] = u.busy_seconds;
+            out[prefix + "util"] =
+                summary.wall_seconds > 0.0
+                    ? u.busy_seconds / summary.wall_seconds
+                    : 0.0;
+            busy_sum += u.busy_seconds;
+            busy_max = std::max(busy_max, u.busy_seconds);
+            busy_min = busy_min < 0.0 ? u.busy_seconds
+                                      : std::min(busy_min, u.busy_seconds);
+        }
+        if (summary.wall_seconds > 0.0) {
+            out["exp.shard_util_min"] =
+                std::max(busy_min, 0.0) / summary.wall_seconds;
+            out["exp.shard_util_max"] = busy_max / summary.wall_seconds;
+            out["exp.shard_util_mean"] =
+                busy_sum /
+                (summary.wall_seconds * static_cast<double>(shards.size()));
+        }
+    }
     return out;
 }
 
@@ -95,85 +124,6 @@ ExperimentOptions::fromEnv(const std::string &default_cache_dir)
 }
 
 namespace {
-
-/** Append-only, crash-tolerant completion journal (JSONL). */
-class Journal
-{
-  public:
-    /** @p resume keeps the existing file and loads completed digests. */
-    Journal(const std::string &path, bool resume) : path_(path)
-    {
-        if (path_.empty())
-            return;
-        const std::filesystem::path p(path_);
-        std::error_code ec;
-        if (p.has_parent_path())
-            std::filesystem::create_directories(p.parent_path(), ec);
-        if (resume)
-            loadCompleted();
-        os_.open(path_, resume ? std::ios::app : std::ios::trunc);
-    }
-
-    bool completedBefore(const std::string &digest) const
-    {
-        return completed_.count(digest) > 0;
-    }
-
-    std::size_t completedCount() const { return completed_.size(); }
-
-    void
-    append(const PointResult &p)
-    {
-        if (!os_.is_open())
-            return;
-        std::lock_guard<std::mutex> lk(mu_);
-        std::ostringstream line;
-        obs::JsonWriter w(line);
-        w.beginObject();
-        w.kv("digest", p.digest);
-        w.kv("status", pointStatusName(p.status));
-        w.kv("config", p.config);
-        w.kv("workload", p.workload);
-        w.kv("attempts", p.attempts);
-        if (!p.error.empty())
-            w.kv("error", p.error);
-        w.endObject();
-        std::string s = line.str();
-        // One record per line: the JsonWriter pretty-prints, so strip
-        // newlines before appending.
-        std::string flat;
-        flat.reserve(s.size());
-        for (char c : s)
-            if (c != '\n')
-                flat += c;
-        os_ << flat << '\n' << std::flush;
-    }
-
-  private:
-    void
-    loadCompleted()
-    {
-        std::ifstream is(path_);
-        std::string line;
-        while (std::getline(is, line)) {
-            if (line.empty())
-                continue;
-            try {
-                const obs::JsonValue v = obs::parseJson(line);
-                const std::string status = v.at("status").asString();
-                if (status == "ok" || status == "cached")
-                    completed_.insert(v.at("digest").asString());
-            } catch (const std::exception &) {
-                // A torn final line from a crash is expected; skip it.
-            }
-        }
-    }
-
-    std::string path_;
-    std::ofstream os_;
-    std::mutex mu_;
-    std::set<std::string> completed_;
-};
 
 /** Render one single-line JSON record (JsonWriter pretty-prints, so
  *  newlines are stripped; JSON strings never contain raw newlines). */
@@ -269,6 +219,17 @@ Experiment::run()
                            .string();
     Journal journal(journal_path, opt_.resume);
 
+    // Worker-slot count: the executor's width when a pool is attached
+    // (a persistent pool ignores the per-sweep thread request), plain
+    // spawned threads otherwise. Per-slot utilization (points finished
+    // + host time spent) is reported as ExperimentResult::shards.
+    const unsigned n_threads =
+        opt_.executor
+            ? opt_.executor->width(
+                  resolveThreads(opt_.run.threads, result.points.size()))
+            : resolveThreads(opt_.run.threads, result.points.size());
+    result.shards.assign(std::max<unsigned>(n_threads, 1), ShardUtil{});
+
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> failures{0};
     std::atomic<std::size_t> retries{0};
@@ -291,14 +252,14 @@ Experiment::run()
             w.kv("sweep", name_);
             w.kv("total", static_cast<std::uint64_t>(result.points.size()));
             w.kv("cache", cache.enabled() ? cache.dir() : "");
-            w.kv("threads",
-                 resolveThreads(opt_.run.threads, result.points.size()));
+            w.kv("threads", n_threads);
             w.endObject();
         }));
     }
 
     auto finishPoint = [&](PointResult &p) {
-        journal.append(p);
+        journal.append({p.digest, pointStatusName(p.status), p.config,
+                        p.workload, p.attempts, p.error});
         if (progress) {
             std::lock_guard<std::mutex> lk(progress_mu);
             ++tally.done;
@@ -355,13 +316,22 @@ Experiment::run()
         }
     };
 
-    auto worker = [&]() {
+    auto worker = [&](unsigned slot) {
+        ShardUtil &util = result.shards[slot % result.shards.size()];
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= result.points.size())
                 return;
+            const auto point_t0 = std::chrono::steady_clock::now();
             PointResult &p = result.points[i];
             obs::ObsSpan point_span("point");
+            auto account = [&] {
+                ++util.points;
+                util.busy_seconds +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - point_t0)
+                        .count();
+            };
 
             // Circuit breaker: once the failure budget is spent, stop
             // burning host time and report the rest as skipped.
@@ -369,6 +339,7 @@ Experiment::run()
                 failures.load() >= opt_.max_failures) {
                 p.status = PointStatus::kSkipped;
                 finishPoint(p);
+                account();
                 continue;
             }
 
@@ -380,6 +351,7 @@ Experiment::run()
                     if (opt_.resume && journal.completedBefore(p.digest))
                         resumed.fetch_add(1);
                     finishPoint(p);
+                    account();
                     continue;
                 }
             }
@@ -420,17 +392,20 @@ Experiment::run()
                 failures.fetch_add(1);
             }
             finishPoint(p);
+            account();
         }
     };
 
-    const unsigned n_threads =
-        resolveThreads(opt_.run.threads, result.points.size());
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+    if (opt_.executor) {
+        opt_.executor->run(worker);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &t : pool)
+            t.join();
+    }
 
     ExperimentSummary &s = result.summary;
     s.total = result.points.size();

@@ -69,6 +69,14 @@ struct PointResult
     }
 };
 
+/** Per-worker-slot accounting of one sweep (a "shard" when the sweep
+ *  runs on a serve::ShardPool; a plain worker thread otherwise). */
+struct ShardUtil
+{
+    std::size_t points = 0;      ///< Points this slot finished.
+    double busy_seconds = 0.0;   ///< Host time spent handling them.
+};
+
 /** Sweep-level accounting (also exported as "exp.*" counters). */
 struct ExperimentSummary
 {
@@ -100,8 +108,12 @@ struct ExperimentResult
 
     ExperimentSummary summary;
 
+    /** One entry per worker slot the sweep ran on (thread or shard). */
+    std::vector<ShardUtil> shards;
+
     /** Flattened "exp.*" metrics (points, ok, cached, failed, skipped,
-     *  retries, cache_hit_rate, wall_seconds) for the JSON exporter. */
+     *  retries, cache_hit_rate, wall_seconds, shards and per-shard
+     *  shard<i>.points / busy_seconds / util) for the JSON exporter. */
     std::map<std::string, double> counters() const;
 
     bool allOk() const { return summary.failed == 0 && summary.skipped == 0; }
@@ -117,10 +129,33 @@ struct ExperimentResult
     std::vector<SimStats> stats() const;
 };
 
+/**
+ * Abstract executor a sweep's workers run on. The default (no executor)
+ * spawns one thread per worker slot and joins them; a persistent
+ * implementation (serve::ShardPool) reuses its threads across sweeps.
+ *
+ * Contract: width(requested) reports how many slots run() will use;
+ * run(worker) must invoke worker(slot) exactly once per slot in
+ * [0, width), concurrently, and return only when every call has.
+ * Workers pull points from the sweep's internal work queue until it is
+ * drained, so any width completes the sweep.
+ */
+class SweepExecutor
+{
+  public:
+    virtual ~SweepExecutor() = default;
+    virtual unsigned width(unsigned requested) const = 0;
+    virtual void run(const std::function<void(unsigned slot)> &worker) = 0;
+};
+
 /** Scheduling and policy knobs for one Experiment. */
 struct ExperimentOptions
 {
     RunOptions run;
+
+    /** External executor (non-owning; may outlive many sweeps). Null
+     *  spawns opt.run.threads plain threads per run() call. */
+    SweepExecutor *executor = nullptr;
 
     /** Run-cache directory; empty disables caching. */
     std::string cache_dir;

@@ -1,0 +1,212 @@
+#include "exp/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BTBSIM_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace btbsim::exp {
+
+namespace {
+
+/** Parse one journal line; false when it is not a complete record. */
+bool
+parseRecordLine(const std::string &line, std::string *digest,
+                std::string *status)
+{
+    try {
+        const obs::JsonValue v = obs::parseJson(line);
+        *digest = v.at("digest").asString();
+        *status = v.at("status").asString();
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+#if BTBSIM_HAVE_POSIX_IO
+/** fsync the directory holding @p path so a rename is durable. */
+void
+syncParentDir(const std::filesystem::path &path)
+{
+    const std::filesystem::path dir =
+        path.has_parent_path() ? path.parent_path()
+                               : std::filesystem::path(".");
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+/** Write all of @p data to @p fd, retrying on EINTR / short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        const ::ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+#endif
+
+} // namespace
+
+std::string
+Journal::renderLine(const JournalRecord &r)
+{
+    std::ostringstream line;
+    obs::JsonWriter w(line);
+    w.beginObject();
+    w.kv("digest", r.digest);
+    w.kv("status", r.status);
+    w.kv("config", r.config);
+    w.kv("workload", r.workload);
+    w.kv("attempts", r.attempts);
+    if (!r.error.empty())
+        w.kv("error", r.error);
+    w.endObject();
+    // One record per line: the JsonWriter pretty-prints, so strip
+    // newlines (JSON strings never contain raw ones).
+    const std::string s = line.str();
+    std::string flat;
+    flat.reserve(s.size());
+    for (char c : s)
+        if (c != '\n')
+            flat += c;
+    return flat;
+}
+
+std::set<std::string>
+Journal::recover(const std::string &path)
+{
+    std::set<std::string> completed;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return completed;
+    std::string content((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+    is.close();
+
+    // Split into newline-terminated lines plus a possible unterminated
+    // tail. The valid prefix is everything up to (and including) the
+    // last line that both ends in '\n' and parses as a record.
+    std::size_t valid_end = 0; ///< Byte offset of the recoverable prefix.
+    std::size_t start = 0;
+    bool torn = false;
+    while (start < content.size()) {
+        const std::size_t nl = content.find('\n', start);
+        if (nl == std::string::npos) {
+            torn = true; // Unterminated tail: a record died mid-write.
+            break;
+        }
+        const std::string line = content.substr(start, nl - start);
+        std::string digest, status;
+        if (!line.empty() && parseRecordLine(line, &digest, &status)) {
+            if (status == "ok" || status == "cached")
+                completed.insert(digest);
+            valid_end = nl + 1;
+        } else if (nl + 1 == content.size()) {
+            torn = true; // Unparseable final line: treat as torn.
+        } else {
+            // Interior junk: skip on load, preserve on disk (it may be
+            // someone else's diagnostic note; only the tail is ours to
+            // truncate).
+            valid_end = nl + 1;
+        }
+        start = nl + 1;
+    }
+
+    if (torn) {
+        // Rewrite the valid prefix atomically next to the journal.
+        const std::filesystem::path p(path);
+        const std::string tmp = path + ".recover.tmp";
+#if BTBSIM_HAVE_POSIX_IO
+        const int fd =
+            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            bool ok = writeAll(fd, content.data(), valid_end);
+            ok = ::fsync(fd) == 0 && ok;
+            ::close(fd);
+            if (ok && std::rename(tmp.c_str(), path.c_str()) == 0)
+                syncParentDir(p);
+            else
+                std::remove(tmp.c_str());
+        }
+#else
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        os.write(content.data(),
+                 static_cast<std::streamsize>(valid_end));
+        os.flush();
+        if (os)
+            std::rename(tmp.c_str(), path.c_str());
+        else
+            std::remove(tmp.c_str());
+#endif
+    }
+    return completed;
+}
+
+Journal::Journal(const std::string &path, bool resume) : path_(path)
+{
+    if (path_.empty())
+        return;
+    const std::filesystem::path p(path_);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    if (resume)
+        completed_ = recover(path_);
+#if BTBSIM_HAVE_POSIX_IO
+    const int flags =
+        O_WRONLY | O_CREAT | (resume ? O_APPEND : O_TRUNC);
+    fd_ = ::open(path_.c_str(), flags, 0644);
+#endif
+    // Without POSIX I/O the journal stays disabled (fd_ < 0): the
+    // durability contract cannot be met, and a sweep without a journal
+    // still completes — it just cannot resume.
+}
+
+Journal::~Journal()
+{
+#if BTBSIM_HAVE_POSIX_IO
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+}
+
+void
+Journal::append(const JournalRecord &r)
+{
+    if (fd_ < 0)
+        return;
+    const std::string line = renderLine(r) + '\n';
+    std::lock_guard<std::mutex> lk(mu_);
+#if BTBSIM_HAVE_POSIX_IO
+    // One write(2) per record on an O_APPEND fd, then fdatasync: a
+    // crash can tear at most the in-flight record, which recover()
+    // drops.
+    if (writeAll(fd_, line.data(), line.size()))
+        ::fdatasync(fd_);
+#endif
+    if (r.status == "ok" || r.status == "cached")
+        completed_.insert(r.digest);
+}
+
+} // namespace btbsim::exp

@@ -1,0 +1,204 @@
+#include "serve/client.h"
+
+#include <stdexcept>
+
+#include "exp/run_cache.h"
+
+namespace btbsim::serve {
+
+namespace {
+
+std::size_t
+fieldCount(const obs::JsonValue &v, const char *key)
+{
+    return static_cast<std::size_t>(v.at(key).asNumber());
+}
+
+BatchOutcome
+outcomeFromEnd(const obs::JsonValue &v)
+{
+    BatchOutcome o;
+    o.batch_id = v.at("batch_id").asString();
+    o.total = fieldCount(v, "total");
+    o.ok = fieldCount(v, "ok");
+    o.cached = fieldCount(v, "cached");
+    o.failed = fieldCount(v, "failed");
+    o.skipped = fieldCount(v, "skipped");
+    o.retries = fieldCount(v, "retries");
+    o.resumed = fieldCount(v, "resumed");
+    o.wall_seconds = v.at("wall_seconds").asNumber();
+    o.shards = fieldCount(v, "shards");
+    return o;
+}
+
+} // namespace
+
+bool
+ServeClient::connect()
+{
+    if (conn_.valid())
+        return true;
+    conn_ = unixConnect(socket_path_);
+    return conn_.valid();
+}
+
+void
+ServeClient::ensureConnected()
+{
+    if (!connect())
+        throw std::runtime_error("serve client: cannot connect to " +
+                                 socket_path_);
+}
+
+obs::JsonValue
+ServeClient::readRecord()
+{
+    std::string line;
+    if (!conn_.recvLine(&line))
+        throw std::runtime_error(
+            "serve client: connection closed by daemon");
+    obs::JsonValue v = obs::parseJson(line);
+    const obs::JsonValue *type = v.find("type");
+    if (!type)
+        throw std::runtime_error("serve client: record without type: " +
+                                 line);
+    if (type->str == "error")
+        throw std::runtime_error("serve daemon: " +
+                                 v.at("message").asString());
+    return v;
+}
+
+int
+ServeClient::ping()
+{
+    ensureConnected();
+    Request r;
+    r.op = "ping";
+    if (!conn_.sendLine(requestToLine(r)))
+        throw std::runtime_error("serve client: send failed");
+    const obs::JsonValue v = readRecord();
+    if (v.at("type").asString() != "pong")
+        throw std::runtime_error("serve client: expected pong");
+    return static_cast<int>(v.at("protocol").asNumber());
+}
+
+BatchOutcome
+ServeClient::submit(
+    const BatchSpec &batch,
+    const std::function<void(const obs::JsonValue &)> &on_point)
+{
+    ensureConnected();
+    Request r;
+    r.op = "submit";
+    r.batch = batch;
+    r.has_batch = true;
+    if (!conn_.sendLine(requestToLine(r)))
+        throw std::runtime_error("serve client: send failed");
+
+    bool dedup = false;
+    std::string batch_id;
+    for (;;) {
+        const obs::JsonValue v = readRecord();
+        const std::string &type = v.at("type").asString();
+        if (type == "batch") {
+            // The submission ack; later "batch" records (none today)
+            // would be progress refreshes.
+            batch_id = v.at("batch_id").asString();
+            const obs::JsonValue *d = v.find("dedup");
+            dedup = d && d->boolean;
+        } else if (type == "point") {
+            if (on_point)
+                on_point(v);
+        } else if (type == "batch_end") {
+            BatchOutcome o = outcomeFromEnd(v);
+            o.dedup = dedup;
+            return o;
+        } else {
+            throw std::runtime_error(
+                "serve client: unexpected record type \"" + type +
+                "\" while streaming");
+        }
+    }
+}
+
+BatchStatus
+ServeClient::status(const std::string &batch_id)
+{
+    ensureConnected();
+    Request r;
+    r.op = "status";
+    r.batch_id = batch_id;
+    if (!conn_.sendLine(requestToLine(r)))
+        throw std::runtime_error("serve client: send failed");
+    const obs::JsonValue v = readRecord();
+    if (v.at("type").asString() != "batch")
+        throw std::runtime_error("serve client: expected batch record");
+    BatchStatus s;
+    s.batch_id = v.at("batch_id").asString();
+    s.state = v.at("state").asString();
+    s.total = fieldCount(v, "total");
+    s.done = fieldCount(v, "done");
+    s.ok = fieldCount(v, "ok");
+    s.cached = fieldCount(v, "cached");
+    s.failed = fieldCount(v, "failed");
+    s.skipped = fieldCount(v, "skipped");
+    return s;
+}
+
+bool
+ServeClient::results(const std::string &batch_id,
+                     std::vector<ResultPoint> *out, BatchOutcome *end)
+{
+    ensureConnected();
+    Request r;
+    r.op = "results";
+    r.batch_id = batch_id;
+    if (!conn_.sendLine(requestToLine(r)))
+        throw std::runtime_error("serve client: send failed");
+
+    std::vector<ResultPoint> points;
+    for (;;) {
+        const obs::JsonValue v = readRecord();
+        const std::string &type = v.at("type").asString();
+        if (type == "batch") {
+            // Still queued/running: not ready.
+            return false;
+        }
+        if (type == "result") {
+            ResultPoint p;
+            p.digest = v.at("digest").asString();
+            p.config = v.at("config").asString();
+            p.workload = v.at("workload").asString();
+            p.status = v.at("status").asString();
+            p.stats = exp::statsFromJson(v.at("stats"));
+            points.push_back(std::move(p));
+        } else if (type == "batch_end") {
+            if (out)
+                *out = std::move(points);
+            if (end)
+                *end = outcomeFromEnd(v);
+            return true;
+        } else {
+            throw std::runtime_error(
+                "serve client: unexpected record type \"" + type +
+                "\" in results");
+        }
+    }
+}
+
+bool
+ServeClient::shutdown()
+{
+    ensureConnected();
+    Request r;
+    r.op = "shutdown";
+    if (!conn_.sendLine(requestToLine(r)))
+        return false;
+    try {
+        return readRecord().at("type").asString() == "shutdown";
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace btbsim::serve

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Client side of the btbsim-serve protocol: one blocking connection to
+ * the daemon's Unix socket, with typed wrappers over the request ops
+ * (serve/protocol.h). Used by the btbsim-client CLI and the serve
+ * tests; benches talk to the in-process ShardPool instead.
+ */
+
+#ifndef BTBSIM_SERVE_CLIENT_H
+#define BTBSIM_SERVE_CLIENT_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "sim/sim_stats.h"
+
+namespace btbsim::serve {
+
+/** The daemon-reported terminal summary of a batch ("batch_end"). */
+struct BatchOutcome
+{
+    std::string batch_id;
+    bool dedup = false; ///< Submission attached to an existing batch.
+    std::size_t total = 0, ok = 0, cached = 0, failed = 0, skipped = 0;
+    std::size_t retries = 0, resumed = 0;
+    double wall_seconds = 0.0;
+    std::size_t shards = 0;
+};
+
+/** A "batch" status record. */
+struct BatchStatus
+{
+    std::string batch_id;
+    std::string state; ///< queued | running | done.
+    std::size_t total = 0, done = 0, ok = 0, cached = 0, failed = 0,
+                skipped = 0;
+};
+
+/** One streamed "result" record, stats fully deserialized. */
+struct ResultPoint
+{
+    std::string digest;
+    std::string config;
+    std::string workload;
+    std::string status; ///< ok | cached.
+    SimStats stats;
+};
+
+/**
+ * Blocking client over one connection. Methods throw std::runtime_error
+ * on connection failure or a protocol violation (including an "error"
+ * response); they are not thread-safe.
+ */
+class ServeClient
+{
+  public:
+    explicit ServeClient(std::string socket_path)
+        : socket_path_(std::move(socket_path))
+    {
+    }
+
+    /** Connect now (ops otherwise connect lazily). False on failure. */
+    bool connect();
+    bool connected() const { return conn_.valid(); }
+
+    /** Round-trip a ping; returns the daemon's protocol version. */
+    int ping();
+
+    /**
+     * Submit @p batch and stream until its "batch_end". @p on_point
+     * (optional) sees every raw "point" progress record as parsed JSON.
+     */
+    BatchOutcome
+    submit(const BatchSpec &batch,
+           const std::function<void(const obs::JsonValue &)> &on_point = {});
+
+    BatchStatus status(const std::string &batch_id);
+
+    /**
+     * Fetch the finished batch's per-point results. Returns true and
+     * fills @p out + @p end when the batch is done; false (leaving them
+     * untouched) when it is still queued/running.
+     */
+    bool results(const std::string &batch_id, std::vector<ResultPoint> *out,
+                 BatchOutcome *end);
+
+    /** Ask the daemon to drain and exit; true once acked. */
+    bool shutdown();
+
+  private:
+    void ensureConnected();
+    obs::JsonValue readRecord(); ///< Next line, "error" raised as throw.
+
+    std::string socket_path_;
+    LineConn conn_;
+};
+
+} // namespace btbsim::serve
+
+#endif // BTBSIM_SERVE_CLIENT_H

@@ -1,0 +1,243 @@
+#include "serve/net.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BTBSIM_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define BTBSIM_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace btbsim::serve {
+
+#if BTBSIM_HAVE_UNIX_SOCKETS
+
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+/// Fill @p addr from @p path; throws when the path exceeds sun_path
+/// (the 108-byte AF_UNIX limit is easy to hit with deep temp dirs).
+void
+fillAddr(sockaddr_un &addr, const std::string &path)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("serve: socket path too long (" +
+                                 std::to_string(path.size()) + " >= " +
+                                 std::to_string(sizeof(addr.sun_path)) +
+                                 "): " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+} // namespace
+
+bool
+LineConn::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + off,
+                                 framed.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close();
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineConn::recvLine(std::string *line)
+{
+    if (fd_ < 0)
+        return false;
+    for (;;) {
+        const std::size_t nl = rbuf_.find('\n');
+        if (nl != std::string::npos) {
+            line->assign(rbuf_, 0, nl);
+            rbuf_.erase(0, nl + 1);
+            return true;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close();
+            return false;
+        }
+        if (n == 0) {
+            // EOF: a final unterminated fragment is not a line.
+            close();
+            return false;
+        }
+        rbuf_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+void
+LineConn::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+LineConn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    rbuf_.clear();
+}
+
+void
+UnixListener::listen(const std::string &path)
+{
+    close();
+    sockaddr_un addr;
+    fillAddr(addr, path);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error("serve: socket(): " +
+                                 std::string(std::strerror(errno)));
+    // A previous daemon killed with -9 leaves its socket inode behind;
+    // binding over it requires the unlink (ECONNREFUSED-probing the old
+    // socket is racy and a fresh daemon owns the path by contract).
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("serve: bind(" + path +
+                                 "): " + std::strerror(err));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw std::runtime_error("serve: listen(" + path +
+                                 "): " + std::strerror(err));
+    }
+    fd_ = fd;
+    path_ = path;
+}
+
+LineConn
+UnixListener::accept()
+{
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0)
+            return LineConn(fd);
+        if (errno == EINTR)
+            continue;
+        return LineConn();
+    }
+}
+
+void
+UnixListener::close()
+{
+    if (fd_ >= 0) {
+        // shutdown() wakes any thread blocked in accept() before the
+        // descriptor goes away.
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+LineConn
+unixConnect(const std::string &path)
+{
+    sockaddr_un addr;
+    fillAddr(addr, path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return LineConn();
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return LineConn();
+    }
+    return LineConn(fd);
+}
+
+#else // !BTBSIM_HAVE_UNIX_SOCKETS
+
+bool
+LineConn::sendLine(const std::string &)
+{
+    return false;
+}
+
+bool
+LineConn::recvLine(std::string *)
+{
+    return false;
+}
+
+void
+LineConn::shutdownBoth()
+{
+}
+
+void
+LineConn::close()
+{
+    fd_ = -1;
+    rbuf_.clear();
+}
+
+void
+UnixListener::listen(const std::string &path)
+{
+    throw std::runtime_error(
+        "serve: Unix sockets unavailable on this platform (" + path + ")");
+}
+
+LineConn
+UnixListener::accept()
+{
+    return LineConn();
+}
+
+void
+UnixListener::close()
+{
+    fd_ = -1;
+    path_.clear();
+}
+
+LineConn
+unixConnect(const std::string &)
+{
+    return LineConn();
+}
+
+#endif // BTBSIM_HAVE_UNIX_SOCKETS
+
+} // namespace btbsim::serve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal Unix-domain-socket plumbing for the sweep service: a
+ * listener, a blocking line-framed connection, and a connect helper.
+ *
+ * Framing is newline-delimited JSON in both directions (one object per
+ * line, no raw newlines inside a record — the protocol layer guarantees
+ * that). Writes use MSG_NOSIGNAL so a client that disappears mid-stream
+ * surfaces as a send error, never a SIGPIPE; the server drops the
+ * subscriber and the batch keeps running.
+ */
+
+#ifndef BTBSIM_SERVE_NET_H
+#define BTBSIM_SERVE_NET_H
+
+#include <string>
+
+namespace btbsim::serve {
+
+/** Blocking, line-framed duplex connection over a connected fd. */
+class LineConn
+{
+  public:
+    LineConn() = default;
+    explicit LineConn(int fd) : fd_(fd) {}
+    ~LineConn() { close(); }
+
+    LineConn(LineConn &&other) noexcept { *this = std::move(other); }
+    LineConn &
+    operator=(LineConn &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            rbuf_ = std::move(other.rbuf_);
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    LineConn(const LineConn &) = delete;
+    LineConn &operator=(const LineConn &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send @p line plus a trailing newline; false on any send error
+     *  (connection is then closed). Not thread-safe — callers holding
+     *  one connection across threads serialize externally. */
+    bool sendLine(const std::string &line);
+
+    /** Read the next newline-terminated line (newline stripped).
+     *  False on EOF or error. */
+    bool recvLine(std::string *line);
+
+    /** shutdown(2) both directions WITHOUT closing the fd — safe to
+     *  call from another thread to unblock a recvLine() in progress
+     *  (close() while another thread reads would race fd reuse). */
+    void shutdownBoth();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string rbuf_;
+};
+
+/** Listening Unix-domain stream socket bound to @p path. */
+class UnixListener
+{
+  public:
+    UnixListener() = default;
+    ~UnixListener() { close(); }
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /**
+     * Bind and listen on @p path, unlinking any stale socket first (a
+     * kill -9'd daemon leaves one behind). Throws std::runtime_error on
+     * failure (path too long, bind/listen error).
+     */
+    void listen(const std::string &path);
+
+    /** Accept one connection; invalid LineConn when the listener was
+     *  closed (shutdown) or accept failed. */
+    LineConn accept();
+
+    bool valid() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Close the socket (unblocks accept()) and unlink the path. */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** Connect to the daemon at @p path; invalid LineConn on failure. */
+LineConn unixConnect(const std::string &path);
+
+} // namespace btbsim::serve
+
+#endif // BTBSIM_SERVE_NET_H

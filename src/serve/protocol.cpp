@@ -1,0 +1,147 @@
+#include "serve/protocol.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/config_json.h"
+#include "exp/sha256.h"
+
+namespace btbsim::serve {
+
+std::string
+flatJsonObject(const std::function<void(obs::JsonWriter &)> &fill)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    fill(w);
+    w.endObject();
+    // One record per line: JsonWriter pretty-prints, so strip newlines
+    // (JSON strings never contain raw ones).
+    const std::string s = os.str();
+    std::string flat;
+    flat.reserve(s.size());
+    for (char c : s)
+        if (c != '\n')
+            flat += c;
+    return flat;
+}
+
+void
+writeBatchJson(obs::JsonWriter &w, const BatchSpec &b)
+{
+    w.beginObject();
+    w.kv("_schema", kServeProtocolVersion);
+    w.kv("name", b.name);
+    w.key("run");
+    exp::writeRunOptionsJson(w, b.run);
+    w.key("configs");
+    w.beginArray();
+    for (const CpuConfig &c : b.configs)
+        exp::writeCpuConfigJson(w, c);
+    w.endArray();
+    w.key("workloads");
+    w.beginArray();
+    for (const WorkloadSpec &s : b.workloads)
+        exp::writeWorkloadSpecJson(w, s);
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+canonicalBatchJson(const BatchSpec &b)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    writeBatchJson(w, b);
+    const std::string s = os.str();
+    std::string flat;
+    flat.reserve(s.size());
+    for (char c : s)
+        if (c != '\n')
+            flat += c;
+    return flat;
+}
+
+std::string
+batchDigest(const BatchSpec &b)
+{
+    return exp::Sha256::hexDigest(canonicalBatchJson(b));
+}
+
+BatchSpec
+batchFromJson(const obs::JsonValue &v)
+{
+    if (!v.isObject())
+        throw std::runtime_error("batch: not a JSON object");
+    const int schema = static_cast<int>(v.at("_schema").asNumber());
+    if (schema != kServeProtocolVersion)
+        throw std::runtime_error(
+            "batch: protocol version mismatch (got " +
+            std::to_string(schema) + ", expected " +
+            std::to_string(kServeProtocolVersion) + ")");
+    BatchSpec b;
+    b.name = v.at("name").asString();
+    b.run = exp::runOptionsFromJson(v.at("run"));
+    const obs::JsonValue &configs = v.at("configs");
+    if (!configs.isArray())
+        throw std::runtime_error("batch: \"configs\" is not an array");
+    for (const obs::JsonValue &c : configs.array)
+        b.configs.push_back(exp::cpuConfigFromJson(c));
+    const obs::JsonValue &workloads = v.at("workloads");
+    if (!workloads.isArray())
+        throw std::runtime_error("batch: \"workloads\" is not an array");
+    for (const obs::JsonValue &s : workloads.array)
+        b.workloads.push_back(exp::workloadSpecFromJson(s));
+    if (b.configs.empty() || b.workloads.empty())
+        throw std::runtime_error("batch: empty configs or workloads");
+    return b;
+}
+
+Request
+requestFromLine(const std::string &line)
+{
+    const obs::JsonValue v = obs::parseJson(line);
+    if (!v.isObject())
+        throw std::runtime_error("request: not a JSON object");
+    Request r;
+    r.op = v.at("op").asString();
+    if (r.op == "ping" || r.op == "shutdown") {
+        // No operands.
+    } else if (r.op == "submit") {
+        r.batch = batchFromJson(v.at("batch"));
+        r.has_batch = true;
+    } else if (r.op == "status" || r.op == "results") {
+        r.batch_id = v.at("batch_id").asString();
+        if (r.batch_id.empty())
+            throw std::runtime_error("request: empty batch_id");
+    } else {
+        throw std::runtime_error("request: unknown op \"" + r.op + "\"");
+    }
+    return r;
+}
+
+std::string
+requestToLine(const Request &r)
+{
+    return flatJsonObject([&](obs::JsonWriter &w) {
+        w.kv("op", r.op);
+        if (!r.batch_id.empty())
+            w.kv("batch_id", r.batch_id);
+        if (r.has_batch) {
+            w.key("batch");
+            writeBatchJson(w, r.batch);
+        }
+    });
+}
+
+std::string
+errorLine(const std::string &message)
+{
+    return flatJsonObject([&](obs::JsonWriter &w) {
+        w.kv("type", "error");
+        w.kv("message", message);
+    });
+}
+
+} // namespace btbsim::serve

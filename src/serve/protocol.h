@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Wire protocol of the btbsim-serve daemon: newline-delimited JSON over
+ * a Unix domain socket, one object per line in both directions.
+ *
+ * Requests (client -> server):
+ *
+ *   {"op":"ping"}
+ *   {"op":"submit","batch":{...BatchSpec...}}
+ *   {"op":"status","batch_id":"<digest>"}
+ *   {"op":"results","batch_id":"<digest>"}
+ *   {"op":"shutdown"}
+ *
+ * Responses (server -> client), discriminated by "type":
+ *
+ *   {"type":"error","message":"..."}
+ *   {"type":"pong","protocol":1}
+ *   {"type":"batch","batch_id":"...","state":"running|done","dedup":B,
+ *    "total":N,"done":d,"ok":o,"cached":c,"failed":f,"skipped":s}
+ *   {"type":"point", ...}            // PR 6 progress schema (obs/progress.h)
+ *                                    // plus "batch_id" and "digest"
+ *   {"type":"result","batch_id":"...","digest":"...","config":"...",
+ *    "workload":"...","status":"ok|cached","stats":{...full SimStats...}}
+ *   {"type":"batch_end","batch_id":"...","total":N,"ok":o,"cached":c,
+ *    "failed":f,"skipped":s,"retries":r,"wall_seconds":w}
+ *   {"type":"shutdown"}              // ack; the daemon then drains and exits
+ *
+ * A "submit" subscribes the connection to the batch's live stream: a
+ * "batch" ack first (dedup=true when the identical batch is already
+ * running or complete), then "point" progress records, then one
+ * "batch_end". "results" replays "result" records for every point with
+ * stats, then "batch_end". Submitting a batch whose points are all warm
+ * in the run cache still streams — the points just arrive instantly as
+ * status "cached".
+ *
+ * Batch identity is content-addressed: the batch_id IS the SHA-256 of
+ * the batch's canonical JSON (exp/config_json.h writers underneath), so
+ * duplicate submissions dedup naturally and a resubmit after a daemon
+ * crash reattaches to the journaled sweep instead of restarting it.
+ */
+
+#ifndef BTBSIM_SERVE_PROTOCOL_H
+#define BTBSIM_SERVE_PROTOCOL_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "sim/config.h"
+#include "sim/runner.h"
+#include "trace/suite.h"
+
+namespace btbsim::serve {
+
+/** Wire-protocol version, echoed in "pong" and checked on "submit"
+ *  (a mismatched client gets an "error", not a misparsed batch). */
+constexpr int kServeProtocolVersion = 1;
+
+/** One config-sweep request: the cross product configs x workloads is
+ *  simulated with the given run options. */
+struct BatchSpec
+{
+    std::string name = "serve"; ///< Sweep name (journal/progress label).
+    RunOptions run;
+    std::vector<CpuConfig> configs;
+    std::vector<WorkloadSpec> workloads;
+
+    std::size_t points() const { return configs.size() * workloads.size(); }
+};
+
+/** Canonical batch JSON (schema-versioned, every field, declaration
+ *  order — the hashing substrate, like exp/config_json.h). */
+void writeBatchJson(obs::JsonWriter &w, const BatchSpec &b);
+
+/** Single-line canonical JSON of @p b. */
+std::string canonicalBatchJson(const BatchSpec &b);
+
+/** The batch's content address: SHA-256 of canonicalBatchJson(). */
+std::string batchDigest(const BatchSpec &b);
+
+/** Strict inverse of writeBatchJson (throws std::runtime_error). */
+BatchSpec batchFromJson(const obs::JsonValue &v);
+
+/** One parsed request line. */
+struct Request
+{
+    std::string op;       ///< ping | submit | status | results | shutdown.
+    std::string batch_id; ///< For status/results.
+    BatchSpec batch;      ///< For submit (valid when has_batch).
+    bool has_batch = false;
+};
+
+/** Parse one request line; throws std::runtime_error on malformed JSON,
+ *  an unknown op, or a missing required field. */
+Request requestFromLine(const std::string &line);
+
+/** Serialize @p r to one line (no trailing newline). */
+std::string requestToLine(const Request &r);
+
+/** Render a single-line JSON object via @p fill (begin/endObject are
+ *  added by the helper). Shared by every record the protocol emits. */
+std::string flatJsonObject(const std::function<void(obs::JsonWriter &)> &fill);
+
+/** {"type":"error","message":...} */
+std::string errorLine(const std::string &message);
+
+} // namespace btbsim::serve
+
+#endif // BTBSIM_SERVE_PROTOCOL_H

@@ -1,0 +1,413 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/run_cache.h"
+#include "traceio/chunk_cache.h"
+
+namespace btbsim::serve {
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+bool
+Server::Client::send(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(send_mu);
+    if (dead)
+        return false;
+    if (!conn.sendLine(line)) {
+        dead = true;
+        return false;
+    }
+    return true;
+}
+
+Server::Server(ServerOptions opt) : opt_(std::move(opt)) {}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (opt_.socket_path.empty())
+        throw std::runtime_error("serve: empty socket path");
+    listener_.listen(opt_.socket_path);
+    pool_ = std::make_unique<ShardPool>(opt_.shards);
+    // Shards replaying one recording should decode each chunk once.
+    traceio::SharedChunkCache::setProcessDefault(true);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    runner_thread_ = std::thread([this] { runnerLoop(); });
+}
+
+void
+Server::wait()
+{
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_shutdown_.wait(
+            lk, [this] { return shutdown_requested_ || stopping_; });
+    }
+    stop();
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_shutdown_.notify_all();
+    cv_runner_.notify_all();
+    listener_.close(); // Unblocks accept().
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (runner_thread_.joinable())
+        runner_thread_.join(); // Lets a running batch finish + journal.
+
+    std::vector<ClientPtr> clients;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        clients = clients_;
+    }
+    for (const ClientPtr &c : clients)
+        c->conn.shutdownBoth(); // Unblocks connection recvLine()s.
+    for (std::thread &t : conn_threads_)
+        if (t.joinable())
+            t.join();
+    conn_threads_.clear();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        clients_.clear();
+    }
+    pool_.reset();
+}
+
+unsigned
+Server::shards() const
+{
+    return pool_ ? pool_->shards() : opt_.shards;
+}
+
+std::uint64_t
+Server::batchesDone() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return batches_done_;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        LineConn conn = listener_.accept();
+        if (!conn.valid())
+            return; // Listener closed (stop()).
+        ClientPtr client = std::make_shared<Client>();
+        client->conn = std::move(conn);
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_)
+            return;
+        clients_.push_back(client);
+        conn_threads_.emplace_back(
+            [this, client] { connectionLoop(client); });
+    }
+}
+
+void
+Server::connectionLoop(ClientPtr client)
+{
+    std::string line;
+    while (client->conn.recvLine(&line)) {
+        if (line.empty())
+            continue;
+        Request req;
+        try {
+            req = requestFromLine(line);
+        } catch (const std::exception &e) {
+            // A malformed request poisons only itself: report it and
+            // keep the connection serviceable.
+            client->send(errorLine(e.what()));
+            continue;
+        }
+        if (req.op == "ping") {
+            client->send(flatJsonObject([](obs::JsonWriter &w) {
+                w.kv("type", "pong");
+                w.kv("protocol", kServeProtocolVersion);
+            }));
+        } else if (req.op == "shutdown") {
+            client->send(flatJsonObject([](obs::JsonWriter &w) {
+                w.kv("type", "shutdown");
+            }));
+            std::lock_guard<std::mutex> lk(mu_);
+            shutdown_requested_ = true;
+            cv_shutdown_.notify_all();
+        } else if (req.op == "submit") {
+            handleSubmit(client, std::move(req));
+        } else if (req.op == "status") {
+            handleStatus(client, req);
+        } else { // results (requestFromLine rejects unknown ops)
+            handleResults(client, req);
+        }
+    }
+    // EOF / error: detach. The client may still be subscribed to a
+    // batch; the first failed stream send marks it dead and the batch
+    // runner drops it.
+    std::lock_guard<std::mutex> lk(mu_);
+    {
+        std::lock_guard<std::mutex> slk(client->send_mu);
+        client->dead = true;
+    }
+    clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
+                   clients_.end());
+}
+
+void
+Server::handleSubmit(const ClientPtr &client, Request req)
+{
+    const std::string id = batchDigest(req.batch);
+    std::string ack, end;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        BatchPtr batch;
+        bool dedup = true;
+        const auto it = batches_.find(id);
+        if (it != batches_.end()) {
+            batch = it->second;
+        } else {
+            dedup = false;
+            batch = std::make_shared<Batch>();
+            batch->id = id;
+            batch->spec = std::move(req.batch);
+            batches_.emplace(id, batch);
+            queue_.push_back(batch);
+            cv_runner_.notify_all();
+        }
+        batch->subscribers.push_back(client);
+        ack = batchStatusLine(*batch, dedup);
+        if (batch->state == Batch::State::kDone)
+            end = batchEndLine(*batch);
+    }
+    client->send(ack);
+    if (!end.empty())
+        client->send(end);
+}
+
+void
+Server::handleStatus(const ClientPtr &client, const Request &req)
+{
+    std::string reply;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = batches_.find(req.batch_id);
+        reply = it == batches_.end()
+                    ? errorLine("unknown batch_id: " + req.batch_id)
+                    : batchStatusLine(*it->second, false);
+    }
+    client->send(reply);
+}
+
+void
+Server::handleResults(const ClientPtr &client, const Request &req)
+{
+    BatchPtr batch;
+    std::string reply;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = batches_.find(req.batch_id);
+        if (it == batches_.end()) {
+            reply = errorLine("unknown batch_id: " + req.batch_id);
+        } else if (it->second->state != Batch::State::kDone) {
+            // Not ready: the status record tells the client to poll.
+            reply = batchStatusLine(*it->second, false);
+        } else {
+            batch = it->second;
+        }
+    }
+    if (!batch) {
+        client->send(reply);
+        return;
+    }
+    // state == kDone: result is immutable, stream without the lock.
+    for (const exp::PointResult &p : batch->result.points) {
+        if (!p.hasStats())
+            continue;
+        const std::string line =
+            flatJsonObject([&](obs::JsonWriter &w) {
+                w.kv("type", "result");
+                w.kv("batch_id", batch->id);
+                w.kv("digest", p.digest);
+                w.kv("config", p.config);
+                w.kv("workload", p.workload);
+                w.kv("status", exp::pointStatusName(p.status));
+                w.key("stats");
+                exp::writeStatsJson(w, p.stats);
+            });
+        if (!client->send(line))
+            return; // Client went away mid-stream.
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    client->send(batchEndLine(*batch));
+}
+
+std::string
+Server::batchStatusLine(const Batch &b, bool dedup) const
+{
+    const char *state = b.state == Batch::State::kDone      ? "done"
+                        : b.state == Batch::State::kRunning ? "running"
+                                                            : "queued";
+    const std::size_t total = b.spec.points();
+    return flatJsonObject([&](obs::JsonWriter &w) {
+        w.kv("type", "batch");
+        w.kv("batch_id", b.id);
+        w.kv("state", state);
+        w.kv("dedup", dedup);
+        w.kv("total", static_cast<std::uint64_t>(total));
+        w.kv("done", static_cast<std::uint64_t>(b.done));
+        w.kv("ok", static_cast<std::uint64_t>(b.ok));
+        w.kv("cached", static_cast<std::uint64_t>(b.cached));
+        w.kv("failed", static_cast<std::uint64_t>(b.failed));
+        w.kv("skipped", static_cast<std::uint64_t>(b.skipped));
+    });
+}
+
+std::string
+Server::batchEndLine(const Batch &b) const
+{
+    const exp::ExperimentSummary &s = b.result.summary;
+    return flatJsonObject([&](obs::JsonWriter &w) {
+        w.kv("type", "batch_end");
+        w.kv("batch_id", b.id);
+        w.kv("total", static_cast<std::uint64_t>(s.total));
+        w.kv("ok", static_cast<std::uint64_t>(s.ok));
+        w.kv("cached", static_cast<std::uint64_t>(s.cached));
+        w.kv("failed", static_cast<std::uint64_t>(s.failed));
+        w.kv("skipped", static_cast<std::uint64_t>(s.skipped));
+        w.kv("retries", static_cast<std::uint64_t>(s.retries));
+        w.kv("resumed", static_cast<std::uint64_t>(s.resumed));
+        w.kv("wall_seconds", s.wall_seconds);
+        w.kv("shards", static_cast<std::uint64_t>(b.result.shards.size()));
+    });
+}
+
+void
+Server::runnerLoop()
+{
+    for (;;) {
+        BatchPtr batch;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_runner_.wait(
+                lk, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_)
+                return; // Queued batches re-run on resubmission.
+            batch = queue_.front();
+            queue_.pop_front();
+            batch->state = Batch::State::kRunning;
+            batch->started_at = nowSeconds();
+        }
+        runBatch(batch);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++batches_done_;
+    }
+}
+
+void
+Server::runBatch(const BatchPtr &batch)
+{
+    exp::ExperimentOptions eopt;
+    eopt.run = batch->spec.run;
+    eopt.executor = pool_.get();
+    eopt.cache_dir = opt_.cache_dir;
+    eopt.retries = opt_.retries;
+    eopt.simulate = opt_.simulate;
+    if (!opt_.cache_dir.empty()) {
+        // Durable per-batch journal named by the batch's content hash:
+        // a daemon restarted after kill -9 resumes a resubmitted batch
+        // from exactly the points that had completed.
+        eopt.resume = true;
+        eopt.journal_path =
+            opt_.cache_dir + "/journal/serve-" + batch->id + ".jsonl";
+    }
+    eopt.on_point = [this, batch](const exp::PointResult &p) {
+        std::string line;
+        std::vector<ClientPtr> subs;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            batch->done += 1;
+            switch (p.status) {
+            case exp::PointStatus::kOk: batch->ok += 1; break;
+            case exp::PointStatus::kCached: batch->cached += 1; break;
+            case exp::PointStatus::kFailed: batch->failed += 1; break;
+            case exp::PointStatus::kSkipped: batch->skipped += 1; break;
+            }
+            const std::size_t total = batch->spec.points();
+            const double elapsed = nowSeconds() - batch->started_at;
+            const double eta =
+                batch->done ? elapsed /
+                                  static_cast<double>(batch->done) *
+                                  static_cast<double>(total - batch->done)
+                            : -1.0;
+            // The PR 6 progress-point schema (obs/progress.h), plus
+            // batch_id and the point's run-cache digest.
+            line = flatJsonObject([&](obs::JsonWriter &w) {
+                w.kv("type", "point");
+                w.kv("sweep", batch->spec.name);
+                w.kv("batch_id", batch->id);
+                w.kv("digest", p.digest);
+                w.kv("done", static_cast<std::uint64_t>(batch->done));
+                w.kv("total", static_cast<std::uint64_t>(total));
+                w.kv("ok", static_cast<std::uint64_t>(batch->ok));
+                w.kv("cached", static_cast<std::uint64_t>(batch->cached));
+                w.kv("failed", static_cast<std::uint64_t>(batch->failed));
+                w.kv("skipped",
+                     static_cast<std::uint64_t>(batch->skipped));
+                w.kv("elapsed_seconds", elapsed);
+                w.kv("eta_seconds", eta);
+                w.kv("config", p.config);
+                w.kv("workload", p.workload);
+                w.kv("status", exp::pointStatusName(p.status));
+            });
+            subs = batch->subscribers;
+        }
+        for (const ClientPtr &c : subs)
+            c->send(line); // A failed send marks the client dead.
+    };
+
+    exp::ExperimentResult result = exp::runExperiment(
+        batch->spec.name, batch->spec.configs, batch->spec.workloads,
+        std::move(eopt));
+
+    std::string end;
+    std::vector<ClientPtr> subs;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        batch->result = std::move(result);
+        batch->state = Batch::State::kDone;
+        end = batchEndLine(*batch);
+        subs = std::move(batch->subscribers);
+        batch->subscribers.clear();
+    }
+    for (const ClientPtr &c : subs)
+        c->send(end);
+}
+
+} // namespace btbsim::serve

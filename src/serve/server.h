@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The btbsim-serve daemon core: accepts config batches over a Unix
+ * domain socket (serve/protocol.h), runs them on the in-process shard
+ * pool, and streams per-point progress and results back to clients.
+ *
+ * Design:
+ *
+ *  - One accept thread; one short-lived thread per client connection.
+ *    A connection may issue any number of requests; a "submit" also
+ *    subscribes it to that batch's live stream.
+ *  - One batch-runner thread executes queued batches strictly in
+ *    submission order — parallelism lives INSIDE a batch, across its
+ *    points, on the ShardPool (and through the shared chunk cache).
+ *  - Batches are content-addressed (batch_id == SHA-256 of the batch's
+ *    canonical JSON). Resubmitting an identical batch attaches to the
+ *    running/finished one (dedup) instead of re-running it; the run
+ *    cache additionally dedups point-by-point against PRIOR batches
+ *    that shared any (config, workload, run) points.
+ *  - Crash recovery: every batch journals per-point completion to
+ *    <cache_dir>/journal/serve-<batch_id>.jsonl with durable appends
+ *    (exp/journal.h). After a kill -9, a restarted daemon given the
+ *    same cache dir resumes a resubmitted batch from the journal +
+ *    run cache — completed points replay as "cached", nothing runs
+ *    twice, and the merged results are bit-identical.
+ *
+ * A dead subscriber (client closed mid-stream) is dropped at its first
+ * failed send; the batch keeps running for the journal, the cache, and
+ * any other subscribers.
+ */
+
+#ifndef BTBSIM_SERVE_SERVER_H
+#define BTBSIM_SERVE_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/shard_pool.h"
+
+namespace btbsim::serve {
+
+struct ServerOptions
+{
+    std::string socket_path; ///< AF_UNIX path to listen on (required).
+
+    /** Shard-pool width; 0 resolves to hardware concurrency. */
+    unsigned shards = 0;
+
+    /** Run-cache directory — also the journal home. Empty disables both
+     *  caching and crash recovery (tests only). */
+    std::string cache_dir;
+
+    unsigned retries = 2; ///< Per-point retry budget (exp engine).
+
+    /** Simulation hook override for tests; empty uses runOne(). */
+    std::function<SimStats(const CpuConfig &, const WorkloadSpec &,
+                           const RunOptions &)>
+        simulate;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opt);
+    ~Server(); ///< Implies stop().
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the socket and start the accept + runner threads. Throws
+     *  std::runtime_error when the socket cannot be bound. */
+    void start();
+
+    /** Block until a client issues "shutdown" (daemon main loop). */
+    void wait();
+
+    /** Drain: finish the running batch, close every connection, join
+     *  all threads, unlink the socket. Idempotent. */
+    void stop();
+
+    const std::string &socketPath() const { return opt_.socket_path; }
+    unsigned shards() const;
+
+    /** Batches completed since start (for tests / the status line). */
+    std::uint64_t batchesDone() const;
+
+  private:
+    /** A connected client; sends are serialized so the batch runner
+     *  (streaming) and the connection thread (replies) never interleave
+     *  bytes on one socket. */
+    struct Client
+    {
+        LineConn conn;
+        std::mutex send_mu;
+        bool dead = false;
+
+        bool send(const std::string &line);
+    };
+    using ClientPtr = std::shared_ptr<Client>;
+
+    struct Batch
+    {
+        std::string id;
+        BatchSpec spec;
+
+        enum class State : std::uint8_t { kQueued, kRunning, kDone };
+        State state = State::kQueued;
+
+        // Live progress (guarded by the server mutex).
+        std::size_t done = 0, ok = 0, cached = 0, failed = 0, skipped = 0;
+        double started_at = 0.0; ///< Monotonic seconds at kRunning.
+
+        exp::ExperimentResult result; ///< Valid once kDone.
+        std::vector<ClientPtr> subscribers;
+    };
+    using BatchPtr = std::shared_ptr<Batch>;
+
+    void acceptLoop();
+    void connectionLoop(ClientPtr client);
+    void runnerLoop();
+    void runBatch(const BatchPtr &batch);
+
+    void handleSubmit(const ClientPtr &client, Request req);
+    void handleStatus(const ClientPtr &client, const Request &req);
+    void handleResults(const ClientPtr &client, const Request &req);
+
+    std::string batchStatusLine(const Batch &b, bool dedup) const;
+    std::string batchEndLine(const Batch &b) const;
+
+    ServerOptions opt_;
+    UnixListener listener_;
+    std::unique_ptr<ShardPool> pool_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_runner_;   ///< Wakes the batch runner.
+    std::condition_variable cv_shutdown_; ///< Wakes wait().
+    bool stopping_ = false;
+    bool shutdown_requested_ = false;
+    std::uint64_t batches_done_ = 0;
+
+    std::map<std::string, BatchPtr> batches_; ///< By batch_id.
+    std::deque<BatchPtr> queue_;              ///< Submission order.
+    std::vector<ClientPtr> clients_;
+
+    std::thread accept_thread_;
+    std::thread runner_thread_;
+    std::vector<std::thread> conn_threads_;
+};
+
+} // namespace btbsim::serve
+
+#endif // BTBSIM_SERVE_SERVER_H

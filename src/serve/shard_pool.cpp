@@ -1,0 +1,155 @@
+#include "serve/shard_pool.h"
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+#include "common/env.h"
+#include "exp/run_cache.h"
+#include "traceio/chunk_cache.h"
+
+namespace btbsim::serve {
+
+ShardPool::ShardPool(unsigned shards)
+{
+    unsigned n = shards;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 4;
+    }
+    stats_.resize(n);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { shardLoop(i); });
+}
+
+ShardPool::~ShardPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ShardPool::run(const std::function<void(unsigned)> &worker)
+{
+    // One dispatch at a time: a batch's parallelism is across its
+    // points (the worker drains the sweep's queue), not across batches.
+    std::lock_guard<std::mutex> serial(run_mu_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        job_ = &worker;
+        remaining_ = shards();
+        ++generation_;
+    }
+    cv_work_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ShardPool::shardLoop(unsigned id)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_work_.wait(lk,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        const std::function<void(unsigned)> *job = job_;
+        lk.unlock();
+
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            (*job)(id);
+        } catch (...) {
+            // A sweep worker never throws (Experiment isolates point
+            // failures); swallow defensively so one shard cannot wedge
+            // the pool's completion accounting.
+        }
+        const double busy =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        lk.lock();
+        stats_[id].jobs += 1;
+        stats_[id].busy_seconds += busy;
+        if (--remaining_ == 0)
+            cv_done_.notify_all();
+    }
+}
+
+std::vector<ShardPool::ShardStats>
+ShardPool::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+ShardPool *
+ShardPool::fromEnv()
+{
+    static std::mutex mu;
+    static std::unique_ptr<ShardPool> pool;
+    static bool resolved = false;
+    std::lock_guard<std::mutex> lk(mu);
+    if (!resolved) {
+        resolved = true;
+        const std::uint64_t n = env::u64("BTBSIM_SHARDS", 0);
+        if (n > 0) {
+            pool = std::make_unique<ShardPool>(static_cast<unsigned>(n));
+            // Sharded replay of one recording should decode each chunk
+            // once per process, not once per shard.
+            traceio::SharedChunkCache::setProcessDefault(true);
+        }
+    }
+    return pool.get();
+}
+
+ShardPool *
+applyEnvPool(exp::ExperimentOptions &opt)
+{
+    ShardPool *pool = ShardPool::fromEnv();
+    if (pool)
+        opt.executor = pool;
+    return pool;
+}
+
+std::vector<SimStats>
+runMatrixPooled(const std::vector<CpuConfig> &configs,
+                const std::vector<WorkloadSpec> &suite,
+                const RunOptions &opt)
+{
+    // Same contract as sim/runner.h runMatrix: hermetic unless
+    // BTBSIM_RUN_CACHE is set, throw listing every failed point.
+    exp::ExperimentOptions eopt;
+    eopt.run = opt;
+    eopt.cache_dir = exp::RunCache::dirFromEnv("");
+    eopt.retries =
+        static_cast<unsigned>(env::u64("BTBSIM_RETRIES", eopt.retries));
+    applyEnvPool(eopt);
+
+    exp::ExperimentResult r = exp::runExperiment("run_matrix", configs,
+                                                 suite, std::move(eopt));
+    if (!r.allOk()) {
+        std::string what = "runMatrixPooled: " +
+                           std::to_string(r.summary.failed) +
+                           " point(s) failed:";
+        for (const exp::PointResult *p : r.failures())
+            what += "\n  (" + p->config + ", " + p->workload +
+                    "): " + p->error;
+        throw std::runtime_error(what);
+    }
+    return r.stats();
+}
+
+} // namespace btbsim::serve

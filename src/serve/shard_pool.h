@@ -1,0 +1,116 @@
+/**
+ * @file
+ * In-process shard pool: N persistent worker threads, each standing in
+ * for one simulation shard, implementing exp::SweepExecutor so the
+ * experiment engine schedules sweep points onto the pool instead of
+ * spawning fresh threads per sweep.
+ *
+ * Why a pool instead of Experiment's own thread-per-sweep workers:
+ *
+ *  - the btbsim-serve daemon runs many batches over its lifetime; the
+ *    shards (and their warmed allocator arenas) persist across them;
+ *  - the pool is the natural place to account per-shard utilization
+ *    (jobs, busy seconds) across a whole serving session;
+ *  - pairing with the SharedChunkCache (traceio/chunk_cache.h): shards
+ *    replaying the same .btbt recording decode each chunk once.
+ *
+ * Benches opt in with BTBSIM_SHARDS=N (see fromEnv/applyEnvPool):
+ * bench_common routes every sweep through the process pool and the
+ * shared chunk cache, with per-shard utilization in the result JSON.
+ *
+ * run() dispatches one worker invocation per shard and blocks until
+ * every shard returns; concurrent run() calls are serialized (the
+ * daemon runs one batch at a time — parallelism lives *inside* a batch,
+ * across its points).
+ */
+
+#ifndef BTBSIM_SERVE_SHARD_POOL_H
+#define BTBSIM_SERVE_SHARD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace btbsim::serve {
+
+class ShardPool : public exp::SweepExecutor
+{
+  public:
+    /** @p shards == 0 resolves to hardware concurrency. */
+    explicit ShardPool(unsigned shards);
+    ~ShardPool() override;
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    // exp::SweepExecutor: a persistent pool always runs at its own
+    // width (an idle shard costs one no-op worker call).
+    unsigned width(unsigned /*requested*/) const override
+    {
+        return shards();
+    }
+    void run(const std::function<void(unsigned slot)> &worker) override;
+
+    /** Lifetime totals per shard, across every run() so far. */
+    struct ShardStats
+    {
+        std::uint64_t jobs = 0;     ///< run() dispatches executed.
+        double busy_seconds = 0.0;  ///< Host time inside workers.
+    };
+    std::vector<ShardStats> stats() const;
+
+    /**
+     * The process-wide pool sized by BTBSIM_SHARDS: nullptr when the
+     * knob is 0/unset, otherwise a pool created on first call (later
+     * changes to the knob are ignored). Creating the pool also turns on
+     * the shared replay-chunk cache
+     * (traceio::SharedChunkCache::setProcessDefault).
+     */
+    static ShardPool *fromEnv();
+
+  private:
+    void shardLoop(unsigned id);
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::mutex run_mu_; ///< Serializes concurrent run() calls.
+
+    const std::function<void(unsigned)> *job_ = nullptr;
+    std::uint64_t generation_ = 0; ///< Bumped per run() dispatch.
+    unsigned remaining_ = 0;       ///< Shards still inside job_.
+    bool stop_ = false;
+
+    std::vector<ShardStats> stats_;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * Bench/tool opt-in: when BTBSIM_SHARDS names a pool, attach it as
+ * @p opt's executor (and leave @p opt untouched otherwise). Returns the
+ * pool so callers can report per-shard utilization.
+ */
+ShardPool *applyEnvPool(exp::ExperimentOptions &opt);
+
+/**
+ * Drop-in runMatrix() (sim/runner.h) that runs the sweep on the
+ * env-configured shard pool when BTBSIM_SHARDS is set, with identical
+ * results and failure semantics either way.
+ */
+std::vector<SimStats> runMatrixPooled(const std::vector<CpuConfig> &configs,
+                                      const std::vector<WorkloadSpec> &suite,
+                                      const RunOptions &opt);
+
+} // namespace btbsim::serve
+
+#endif // BTBSIM_SERVE_SHARD_POOL_H

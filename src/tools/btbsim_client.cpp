@@ -1,0 +1,381 @@
+/**
+ * @file
+ * btbsim-client — submit/status/results CLI for the btbsim-serve
+ * daemon, plus batch authoring and a daemon-less reference runner.
+ *
+ *   btbsim-client [--socket PATH] ping
+ *   btbsim-client [--socket PATH] submit <batch.json> [--out FILE] [--quiet]
+ *   btbsim-client [--socket PATH] status <batch_id>
+ *   btbsim-client [--socket PATH] results <batch_id> [--out FILE]
+ *   btbsim-client [--socket PATH] shutdown
+ *   btbsim-client make-batch [--name N] [--configs LIST] [--traces N]
+ *                            [--warmup N] [--measure N] [--out FILE]
+ *   btbsim-client run-local <batch.json> [--out FILE]
+ *
+ * `submit` streams per-point progress (one char per point, bench-style)
+ * until the batch finishes, then — with --out — fetches the per-point
+ * stats and writes a merged result JSON identical in schema to a bench
+ * run, so `btbsim-stats diff serve.json local.json --threshold 0` can
+ * gate bit-identity against `run-local` (the same batch executed
+ * in-process, no daemon, no cache).
+ *
+ * `make-batch` composes a batch from the built-in configuration presets
+ * (ideal-ibtb16, ibtb<W>, rbtb<S>, bbtb<S>, mbbtb<S>, hetero<S>) and
+ * the deterministic server suite.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "core/btb_config.h"
+#include "exp/experiment.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "sim/report.h"
+#include "trace/suite.h"
+
+namespace {
+
+using namespace btbsim;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btbsim-client [--socket PATH] <command> [args]\n"
+        "commands:\n"
+        "  ping                              round-trip the daemon\n"
+        "  submit <batch.json> [--out FILE] [--quiet]\n"
+        "  status <batch_id>\n"
+        "  results <batch_id> [--out FILE]\n"
+        "  shutdown                          drain the daemon and exit it\n"
+        "  make-batch [--name N] [--configs LIST] [--traces N]\n"
+        "             [--warmup N] [--measure N] [--out FILE]\n"
+        "  run-local <batch.json> [--out FILE]  reference run, no daemon\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+serve::BatchSpec
+loadBatch(const std::string &path)
+{
+    return serve::batchFromJson(obs::parseJson(readFile(path)));
+}
+
+/** Write a merged result JSON (bench schema) for @p stats. */
+bool
+writeMergedJson(const std::vector<SimStats> &stats, const std::string &bench,
+                const std::string &path)
+{
+    ResultSet rs;
+    for (const SimStats &s : stats)
+        rs.add(s);
+    const std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream os(p);
+    if (!os)
+        return false;
+    rs.writeJson(os, bench, /*baseline=*/"");
+    return static_cast<bool>(os);
+}
+
+/** A configuration preset token (see file comment). */
+CpuConfig
+configFromToken(const std::string &tok)
+{
+    const auto number = [&](std::size_t prefix) {
+        const unsigned n =
+            static_cast<unsigned>(std::atoi(tok.c_str() + prefix));
+        if (n == 0)
+            throw std::runtime_error("bad config token: " + tok);
+        return n;
+    };
+    CpuConfig cfg;
+    if (tok == "ideal-ibtb16") {
+        cfg.btb = BtbConfig::ibtb(16);
+        cfg.btb.makeIdeal();
+    } else if (tok.rfind("ibtb", 0) == 0) {
+        cfg.btb = BtbConfig::ibtb(number(4));
+    } else if (tok.rfind("rbtb", 0) == 0) {
+        cfg.btb = BtbConfig::rbtb(number(4));
+    } else if (tok.rfind("bbtb", 0) == 0) {
+        cfg.btb = BtbConfig::bbtb(number(4));
+    } else if (tok.rfind("mbbtb", 0) == 0) {
+        cfg.btb = BtbConfig::mbbtb(number(5), PullPolicy::kAllBr);
+    } else if (tok.rfind("hetero", 0) == 0) {
+        cfg.btb = BtbConfig::hetero(number(6));
+    } else {
+        throw std::runtime_error("unknown config token: " + tok);
+    }
+    return cfg;
+}
+
+int
+cmdMakeBatch(const std::vector<std::string> &args)
+{
+    serve::BatchSpec batch;
+    batch.name = "serve-batch";
+    batch.run = RunOptions::fromEnv();
+    std::string configs = "ideal-ibtb16,ibtb16,rbtb4,bbtb4";
+    std::string out;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const auto value = [&] {
+            if (i + 1 >= args.size())
+                throw std::runtime_error("missing value for " + args[i]);
+            return args[++i];
+        };
+        if (args[i] == "--name")
+            batch.name = value();
+        else if (args[i] == "--configs")
+            configs = value();
+        else if (args[i] == "--traces")
+            batch.run.traces = std::strtoull(value().c_str(), nullptr, 10);
+        else if (args[i] == "--warmup")
+            batch.run.warmup = std::strtoull(value().c_str(), nullptr, 10);
+        else if (args[i] == "--measure")
+            batch.run.measure = std::strtoull(value().c_str(), nullptr, 10);
+        else if (args[i] == "--out")
+            out = value();
+        else
+            return usage();
+    }
+    std::stringstream ss(configs);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            batch.configs.push_back(configFromToken(tok));
+    batch.workloads = serverSuite(batch.run.traces);
+
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    serve::writeBatchJson(w, batch);
+    os << "\n";
+    if (out.empty()) {
+        std::cout << os.str();
+    } else {
+        const std::filesystem::path p(out);
+        std::error_code ec;
+        if (p.has_parent_path())
+            std::filesystem::create_directories(p.parent_path(), ec);
+        std::ofstream f(p);
+        f << os.str();
+        if (!f)
+            throw std::runtime_error("cannot write " + out);
+        std::printf("wrote %s (%zu configs x %zu workloads, id %s)\n",
+                    out.c_str(), batch.configs.size(),
+                    batch.workloads.size(),
+                    serve::batchDigest(batch).c_str());
+    }
+    return 0;
+}
+
+int
+cmdRunLocal(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string out;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size())
+            out = args[++i];
+        else
+            return usage();
+    }
+    const serve::BatchSpec batch = loadBatch(args[0]);
+    // Hermetic reference: no run cache, no journal, no pool — the
+    // plain experiment engine, for bit-identity gating against serve.
+    exp::ExperimentOptions eopt;
+    eopt.run = batch.run;
+    const exp::ExperimentResult res = exp::runExperiment(
+        batch.name, batch.configs, batch.workloads, std::move(eopt));
+    if (!res.allOk()) {
+        for (const exp::PointResult *p : res.failures())
+            std::fprintf(stderr, "run-local: (%s, %s) failed: %s\n",
+                         p->config.c_str(), p->workload.c_str(),
+                         p->error.c_str());
+        return 1;
+    }
+    std::printf("run-local: %zu points in %.2fs\n", res.summary.total,
+                res.summary.wall_seconds);
+    if (!out.empty()) {
+        if (!writeMergedJson(res.stats(), batch.name, out))
+            throw std::runtime_error("cannot write " + out);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdSubmit(serve::ServeClient &client, const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string out;
+    bool quiet = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size())
+            out = args[++i];
+        else if (args[i] == "--quiet")
+            quiet = true;
+        else
+            return usage();
+    }
+    const serve::BatchSpec batch = loadBatch(args[0]);
+
+    std::size_t done = 0;
+    const std::size_t total = batch.points();
+    const serve::BatchOutcome outcome = client.submit(
+        batch, [&](const obs::JsonValue &point) {
+            if (quiet)
+                return;
+            const std::string &status = point.at("status").asString();
+            char c = '.';
+            if (status == "cached")
+                c = 'c';
+            else if (status == "failed")
+                c = 'F';
+            else if (status == "skipped")
+                c = 's';
+            std::printf("%c", c);
+            if (++done % 64 == 0 || done == total)
+                std::printf(" [%zu/%zu]\n", done, total);
+            std::fflush(stdout);
+        });
+    if (!quiet && done % 64 != 0 && done != total)
+        std::printf("\n");
+    std::printf("batch %s%s: %zu points — %zu simulated, %zu cached "
+                "(%zu resumed), %zu failed, %zu skipped, %zu retries, "
+                "%.2fs on %zu shard(s)\n",
+                outcome.batch_id.c_str(), outcome.dedup ? " (dedup)" : "",
+                outcome.total, outcome.ok, outcome.cached, outcome.resumed,
+                outcome.failed, outcome.skipped, outcome.retries,
+                outcome.wall_seconds, outcome.shards);
+
+    if (!out.empty()) {
+        std::vector<serve::ResultPoint> points;
+        serve::BatchOutcome end;
+        if (!client.results(outcome.batch_id, &points, &end))
+            throw std::runtime_error("batch finished but results not ready");
+        std::vector<SimStats> stats;
+        stats.reserve(points.size());
+        for (const serve::ResultPoint &p : points)
+            stats.push_back(p.stats);
+        if (!writeMergedJson(stats, batch.name, out))
+            throw std::runtime_error("cannot write " + out);
+        std::printf("wrote %s (%zu runs)\n", out.c_str(), stats.size());
+    }
+    return outcome.failed || outcome.skipped ? 1 : 0;
+}
+
+int
+cmdResults(serve::ServeClient &client, const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string out;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size())
+            out = args[++i];
+        else
+            return usage();
+    }
+    std::vector<serve::ResultPoint> points;
+    serve::BatchOutcome end;
+    if (!client.results(args[0], &points, &end)) {
+        std::printf("batch %s not finished yet\n", args[0].c_str());
+        return 3;
+    }
+    std::printf("batch %s: %zu result points (%zu failed)\n",
+                end.batch_id.c_str(), points.size(), end.failed);
+    if (!out.empty()) {
+        std::vector<SimStats> stats;
+        stats.reserve(points.size());
+        for (const serve::ResultPoint &p : points)
+            stats.push_back(p.stats);
+        if (!writeMergedJson(stats, "serve", out))
+            throw std::runtime_error("cannot write " + out);
+        std::printf("wrote %s\n", out.c_str());
+    }
+    return end.failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket =
+        env::str("BTBSIM_SERVE_SOCKET", "results/btbsim-serve.sock");
+    std::vector<std::string> args;
+    std::string cmd;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc && cmd.empty())
+            socket = argv[++i];
+        else if (cmd.empty())
+            cmd = argv[i];
+        else
+            args.emplace_back(argv[i]);
+    }
+    if (cmd.empty())
+        return usage();
+
+    try {
+        if (cmd == "make-batch")
+            return cmdMakeBatch(args);
+        if (cmd == "run-local")
+            return cmdRunLocal(args);
+
+        serve::ServeClient client(socket);
+        if (cmd == "ping") {
+            const int protocol = client.ping();
+            std::printf("pong (protocol %d) from %s\n", protocol,
+                        socket.c_str());
+            return 0;
+        }
+        if (cmd == "submit")
+            return cmdSubmit(client, args);
+        if (cmd == "status") {
+            if (args.empty())
+                return usage();
+            const serve::BatchStatus s = client.status(args[0]);
+            std::printf("batch %s: %s — %zu/%zu done (%zu ok, %zu cached, "
+                        "%zu failed, %zu skipped)\n",
+                        s.batch_id.c_str(), s.state.c_str(), s.done,
+                        s.total, s.ok, s.cached, s.failed, s.skipped);
+            return 0;
+        }
+        if (cmd == "results")
+            return cmdResults(client, args);
+        if (cmd == "shutdown") {
+            if (!client.shutdown())
+                throw std::runtime_error("daemon did not ack shutdown");
+            std::printf("daemon at %s shutting down\n", socket.c_str());
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "btbsim-client: %s\n", e.what());
+        return 1;
+    }
+}

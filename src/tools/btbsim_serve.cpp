@@ -1,0 +1,101 @@
+/**
+ * @file
+ * btbsim-serve — the sweep-service daemon.
+ *
+ *   btbsim-serve [--socket PATH] [--shards N] [--cache DIR] [--retries N]
+ *
+ * Listens on a Unix domain socket (default BTBSIM_SERVE_SOCKET or
+ * results/btbsim-serve.sock) for newline-delimited JSON requests
+ * (src/serve/protocol.h), runs submitted config batches on an
+ * in-process shard pool with the shared trace-chunk cache, and streams
+ * per-point progress/results back. Completed points are journaled
+ * durably and stored in the content-addressed run cache, so a daemon
+ * restarted after a crash (even kill -9) resumes resubmitted batches
+ * without re-running finished work.
+ *
+ * Exits when a client sends {"op":"shutdown"}.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/env.h"
+#include "exp/run_cache.h"
+#include "serve/server.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btbsim-serve [--socket PATH] [--shards N] [--cache DIR]\n"
+        "                    [--retries N]\n"
+        "defaults: BTBSIM_SERVE_SOCKET (results/btbsim-serve.sock),\n"
+        "          BTBSIM_SHARDS (hardware concurrency),\n"
+        "          BTBSIM_RUN_CACHE (results/cache), BTBSIM_RETRIES (2)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace btbsim;
+
+    serve::ServerOptions opt;
+    opt.socket_path =
+        env::str("BTBSIM_SERVE_SOCKET", "results/btbsim-serve.sock");
+    opt.shards = static_cast<unsigned>(env::u64("BTBSIM_SHARDS", 0));
+    opt.cache_dir = exp::RunCache::dirFromEnv("results/cache");
+    opt.retries = static_cast<unsigned>(env::u64("BTBSIM_RETRIES", 2));
+
+    for (int i = 1; i < argc; ++i) {
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--socket") == 0)
+            opt.socket_path = value();
+        else if (std::strcmp(argv[i], "--shards") == 0)
+            opt.shards = static_cast<unsigned>(std::atoi(value()));
+        else if (std::strcmp(argv[i], "--cache") == 0)
+            opt.cache_dir = value();
+        else if (std::strcmp(argv[i], "--retries") == 0)
+            opt.retries = static_cast<unsigned>(std::atoi(value()));
+        else
+            return usage();
+    }
+
+    {
+        const std::filesystem::path p(opt.socket_path);
+        std::error_code ec;
+        if (p.has_parent_path())
+            std::filesystem::create_directories(p.parent_path(), ec);
+    }
+
+    const std::string cache_desc =
+        opt.cache_dir.empty() ? "off" : opt.cache_dir;
+    try {
+        serve::Server server(std::move(opt));
+        server.start();
+        std::printf("btbsim-serve: listening on %s (%u shards, cache %s)\n",
+                    server.socketPath().c_str(), server.shards(),
+                    cache_desc.c_str());
+        std::fflush(stdout);
+        server.wait();
+        std::printf("btbsim-serve: drained after %llu batch(es), exiting\n",
+                    static_cast<unsigned long long>(server.batchesDone()));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "btbsim-serve: %s\n", e.what());
+        return 1;
+    }
+}

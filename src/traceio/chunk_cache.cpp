@@ -1,0 +1,151 @@
+#include "traceio/chunk_cache.h"
+
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#endif
+
+namespace btbsim::traceio {
+
+namespace {
+
+std::atomic<bool> g_process_default{false};
+
+} // namespace
+
+std::string
+SharedChunkCache::fileKey(const std::string &path)
+{
+    std::error_code ec;
+    const std::filesystem::path canon =
+        std::filesystem::weakly_canonical(path, ec);
+    const std::string p = ec ? path : canon.string();
+#if defined(__unix__) || defined(__APPLE__)
+    struct stat st {};
+    if (::stat(p.c_str(), &st) != 0)
+        return {};
+    return p + "|" + std::to_string(st.st_size) + "|" +
+           std::to_string(static_cast<long long>(st.st_mtim.tv_sec)) + "." +
+           std::to_string(static_cast<long long>(st.st_mtim.tv_nsec));
+#else
+    const auto size = std::filesystem::file_size(p, ec);
+    if (ec)
+        return {};
+    const auto mtime = std::filesystem::last_write_time(p, ec);
+    if (ec)
+        return {};
+    return p + "|" + std::to_string(size) + "|" +
+           std::to_string(mtime.time_since_epoch().count());
+#endif
+}
+
+SharedChunkCache::Buffer
+SharedChunkCache::get(const std::string &file_key, std::size_t chunk,
+                      const Decoder &decode)
+{
+    const Key key{file_key, chunk};
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        Entry &e = entries_[key];
+        if (e.buf) {
+            e.last_use = ++tick_;
+            ++stats_.hits;
+            return e.buf;
+        }
+        if (!e.decoding) {
+            e.decoding = true;
+            break;
+        }
+        // Another source is decoding this chunk; wait for it to publish
+        // (or fail, in which case we retry the decode ourselves).
+        cv_.wait(lk);
+    }
+
+    lk.unlock();
+    auto decoded = std::make_shared<std::vector<Instruction>>();
+    try {
+        decode(*decoded);
+    } catch (...) {
+        lk.lock();
+        entries_[key].decoding = false;
+        cv_.notify_all();
+        throw;
+    }
+    decoded->shrink_to_fit();
+    const std::uint64_t cost = decoded->size() * sizeof(Instruction);
+
+    lk.lock();
+    Entry &e = entries_[key];
+    e.decoding = false;
+    e.buf = std::move(decoded);
+    e.last_use = ++tick_;
+    bytes_ += cost;
+    ++stats_.misses;
+    Buffer out = e.buf; // Grab before eviction may drop the map entry;
+                        // the local shared_ptr keeps the buffer alive.
+    evictLocked();
+    cv_.notify_all();
+    return out;
+}
+
+void
+SharedChunkCache::evictLocked()
+{
+    while (bytes_ > budget_bytes_ && entries_.size() > 1) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->second.buf || it->second.decoding)
+                continue;
+            if (victim == entries_.end() ||
+                it->second.last_use < victim->second.last_use)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return;
+        bytes_ -= victim->second.buf->size() * sizeof(Instruction);
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+SharedChunkCache::CacheStats
+SharedChunkCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    CacheStats s = stats_;
+    s.bytes = bytes_;
+    s.entries = entries_.size();
+    return s;
+}
+
+void
+SharedChunkCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+    bytes_ = 0;
+}
+
+SharedChunkCache &
+SharedChunkCache::instance()
+{
+    static SharedChunkCache cache;
+    return cache;
+}
+
+void
+SharedChunkCache::setProcessDefault(bool on)
+{
+    g_process_default.store(on, std::memory_order_relaxed);
+}
+
+bool
+SharedChunkCache::processDefault()
+{
+    return g_process_default.load(std::memory_order_relaxed);
+}
+
+} // namespace btbsim::traceio

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Process-wide, read-only cache of decoded `.btbt` trace chunks.
+ *
+ * A sharded sweep opens one TraceReplaySource per worker, and K workers
+ * replaying the same recording would otherwise decode every chunk K
+ * times. The SharedChunkCache keys decoded chunk buffers by (file
+ * identity, chunk index) and hands out shared_ptr<const vector> views,
+ * so each chunk of a file is decoded exactly once per process no matter
+ * how many sources replay it concurrently.
+ *
+ * Sharing is safe because decoded buffers are immutable — with one
+ * exception: the wrap-seam rewrite (TraceReplaySource::installFront)
+ * mutates the final chunk's tail instruction. The replay source
+ * therefore keeps its *seam chunk private* and shares only the others;
+ * bit-identity of the delivered stream is unaffected either way because
+ * decoding is deterministic.
+ *
+ * Concurrency: the first caller of get() for a key decodes outside the
+ * lock while later callers wait on a condition variable; a decode
+ * failure wakes the waiters, which retry the decode themselves (the
+ * error may be caller-local, e.g. a closed mapping). Eviction is LRU by
+ * byte budget and only drops the cache's own reference — sources
+ * holding a buffer keep it alive via shared_ptr.
+ *
+ * Enabling: TraceReplaySource::Options::fromEnv() attaches the process
+ * instance when BTBSIM_REPLAY_SHARED says so — explicitly ("1"/"0"),
+ * or, when unset, whenever setProcessDefault(true) was called (the
+ * shard pool / serve daemon turn it on).
+ */
+
+#ifndef BTBSIM_TRACEIO_CHUNK_CACHE_H
+#define BTBSIM_TRACEIO_CHUNK_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.h"
+
+namespace btbsim::traceio {
+
+class SharedChunkCache
+{
+  public:
+    using Buffer = std::shared_ptr<const std::vector<Instruction>>;
+    /** Decodes one chunk into @p out; throws on any problem. */
+    using Decoder = std::function<void(std::vector<Instruction> &out)>;
+
+    /** @p budget_bytes caps the decoded bytes the cache itself pins. */
+    explicit SharedChunkCache(std::uint64_t budget_bytes = 1ull << 30)
+        : budget_bytes_(budget_bytes)
+    {}
+
+    /**
+     * Stable identity of the trace file at @p path: canonical path plus
+     * size and mtime (ns), so a rewritten file never aliases its
+     * predecessor's chunks. Empty when the file cannot be stat'ed.
+     */
+    static std::string fileKey(const std::string &path);
+
+    /**
+     * The decoded buffer for (@p file_key, @p chunk): a cache hit, or a
+     * decode via @p decode (exactly one concurrent caller decodes; the
+     * rest wait). Throws whatever @p decode throws.
+     */
+    Buffer get(const std::string &file_key, std::size_t chunk,
+               const Decoder &decode);
+
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;   ///< Decodes performed.
+        std::uint64_t evictions = 0;
+        std::uint64_t bytes = 0;    ///< Decoded bytes currently pinned.
+        std::uint64_t entries = 0;
+    };
+
+    CacheStats stats() const;
+
+    /** Drop every entry (tests; sources keep their shared_ptrs). */
+    void clear();
+
+    /** The process-wide instance every replay source shares. */
+    static SharedChunkCache &instance();
+
+    /** Programmatic default for BTBSIM_REPLAY_SHARED-unset processes;
+     *  the shard pool and the serve daemon set it to true. */
+    static void setProcessDefault(bool on);
+    static bool processDefault();
+
+  private:
+    struct Entry
+    {
+        Buffer buf;
+        bool decoding = false;
+        std::uint64_t last_use = 0;
+    };
+
+    using Key = std::pair<std::string, std::size_t>;
+
+    void evictLocked();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<Key, Entry> entries_;
+    std::uint64_t budget_bytes_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t tick_ = 0;
+    CacheStats stats_{};
+};
+
+} // namespace btbsim::traceio
+
+#endif // BTBSIM_TRACEIO_CHUNK_CACHE_H

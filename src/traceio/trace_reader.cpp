@@ -76,6 +76,11 @@ TraceReplaySource::Options::fromEnv()
     o.background_decode = !env::disabled("BTBSIM_REPLAY_ASYNC");
     if (env::isSet("BTBSIM_REPLAY_CACHE_MB"))
         o.cache_budget_bytes = env::u64("BTBSIM_REPLAY_CACHE_MB", 0) << 20;
+    const bool shared = env::isSet("BTBSIM_REPLAY_SHARED")
+                            ? env::flag("BTBSIM_REPLAY_SHARED")
+                            : SharedChunkCache::processDefault();
+    if (shared)
+        o.shared_cache = &SharedChunkCache::instance();
     return o;
 }
 
@@ -125,6 +130,12 @@ TraceReplaySource::TraceReplaySource(const std::string &path, Options opt)
         throw TraceError(path + ": trace holds no instructions");
     crc_checked_ = std::make_unique<std::atomic<bool>[]>(chunks_.size());
 
+    // The wrap seam lives in the last non-empty chunk; its tail gets
+    // rewritten, so that chunk always stays a private buffer.
+    seam_chunk_ = chunks_.size() - 1;
+    while (seam_chunk_ > 0 && chunks_[seam_chunk_].records == 0)
+        --seam_chunk_;
+
     // Decode-once cache: when the whole decoded trace fits the budget,
     // every chunk is decoded at most once and wraps/resets are free.
     cached_mode_ = opt.cache_budget_bytes > 0 &&
@@ -133,6 +144,15 @@ TraceReplaySource::TraceReplaySource(const std::string &path, Options opt)
     if (cached_mode_) {
         cache_.resize(chunks_.size());
         cache_valid_.assign(chunks_.size(), false);
+        // Cross-source sharing: non-seam chunks come from the process
+        // cache so K sources replaying one file decode each chunk once.
+        if (opt.shared_cache) {
+            file_key_ = SharedChunkCache::fileKey(path_);
+            if (!file_key_.empty()) {
+                shared_ = opt.shared_cache;
+                shared_slots_.resize(chunks_.size());
+            }
+        }
     }
 
     // Streaming fallback for oversized traces. A single chunk replays
@@ -183,9 +203,17 @@ TraceReplaySource::decodeChunk(std::size_t idx,
     }
 }
 
-std::vector<Instruction> &
+const std::vector<Instruction> &
 TraceReplaySource::chunkBuffer(std::size_t idx)
 {
+    if (shared_ && idx != seam_chunk_) {
+        if (!shared_slots_[idx])
+            shared_slots_[idx] = shared_->get(
+                file_key_, idx, [this, idx](std::vector<Instruction> &out) {
+                    decodeChunk(idx, out);
+                });
+        return *shared_slots_[idx];
+    }
     if (!cache_valid_[idx]) {
         decodeChunk(idx, cache_[idx]);
         cache_valid_[idx] = true;
@@ -198,11 +226,10 @@ TraceReplaySource::installFront(std::size_t idx)
 {
     cur_chunk_ = idx;
     pos_ = 0;
-    std::vector<Instruction> &buf = *cur_;
-    if (buf.empty())
+    if (cur_->empty())
         return;
     if (!first_pc_set_) {
-        first_pc_ = buf.front().pc;
+        first_pc_ = cur_->front().pc;
         first_pc_set_ = true;
     }
 
@@ -210,10 +237,11 @@ TraceReplaySource::installFront(std::size_t idx)
     // instruction's next_pc matches the following pc, so the recorded
     // tail is rewritten into a jump back to the recorded head. The
     // rewrite is idempotent, so re-installing a cached chunk is fine.
-    std::size_t last_chunk = chunks_.size() - 1;
-    while (last_chunk > 0 && chunks_[last_chunk].records == 0)
-        --last_chunk;
-    if (idx == last_chunk) {
+    // The seam chunk is never shared across sources (chunkBuffer), so
+    // this write cannot race another replay of the same file.
+    if (idx == seam_chunk_) {
+        std::vector<Instruction> &buf =
+            cached_mode_ ? cache_[idx] : stream_buf_;
         Instruction &tail = buf.back();
         if (tail.next_pc != first_pc_) {
             tail.cls = InstClass::kBranch;

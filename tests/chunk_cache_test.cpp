@@ -1,0 +1,207 @@
+/** @file Tests for the process-wide shared replay-chunk cache
+ *  (traceio/chunk_cache.h) and its TraceReplaySource integration. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "env_util.h"
+#include "traceio/chunk_cache.h"
+#include "traceio/trace_reader.h"
+#include "traceio/trace_writer.h"
+
+using namespace btbsim;
+using namespace btbsim::traceio;
+using btbsim::test::ScopedEnv;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    const std::string p = ::testing::TempDir() + "btbsim_ccache_" + name;
+    std::filesystem::remove(p);
+    return p;
+}
+
+/** Control-flow-consistent straight-line stream ending in a loop back. */
+std::vector<Instruction>
+loopStream(std::size_t n)
+{
+    std::vector<Instruction> v;
+    const Addr base = 0x400000;
+    for (std::size_t i = 0; i < n; ++i) {
+        Instruction in;
+        in.pc = base + i * kInstBytes;
+        if (i + 1 == n) {
+            in.cls = InstClass::kBranch;
+            in.branch = BranchClass::kUncondDirect;
+            in.taken = true;
+            in.next_pc = base;
+        } else {
+            in.cls = InstClass::kAlu;
+            in.next_pc = in.pc + kInstBytes;
+        }
+        v.push_back(in);
+    }
+    return v;
+}
+
+std::string
+writeTrace(const std::string &name, const std::vector<Instruction> &insts,
+           std::uint32_t chunk_insts)
+{
+    const std::string path = tmpPath(name);
+    TraceWriter::Options opt;
+    opt.chunk_insts = chunk_insts;
+    TraceWriter w(path, name, nullptr, opt);
+    for (const Instruction &in : insts)
+        w.append(in);
+    w.finish();
+    return path;
+}
+
+void
+expectSame(const Instruction &a, const Instruction &b, std::size_t i)
+{
+    ASSERT_EQ(a.pc, b.pc) << "inst " << i;
+    ASSERT_EQ(a.next_pc, b.next_pc) << "inst " << i;
+    ASSERT_EQ(a.cls, b.cls) << "inst " << i;
+    ASSERT_EQ(a.branch, b.branch) << "inst " << i;
+    ASSERT_EQ(a.taken, b.taken) << "inst " << i;
+}
+
+} // namespace
+
+TEST(SharedChunkCache, FileKeyIdentifiesFileContentsGeneration)
+{
+    const std::string p1 = writeTrace("key_a.btbt", loopStream(32), 16);
+    const std::string p2 = writeTrace("key_b.btbt", loopStream(32), 16);
+    const std::string k1 = SharedChunkCache::fileKey(p1);
+    const std::string k2 = SharedChunkCache::fileKey(p2);
+    EXPECT_FALSE(k1.empty());
+    EXPECT_FALSE(k2.empty());
+    EXPECT_NE(k1, k2);
+    EXPECT_EQ(k1, SharedChunkCache::fileKey(p1));
+    EXPECT_TRUE(SharedChunkCache::fileKey(tmpPath("nope.btbt")).empty());
+}
+
+TEST(SharedChunkCache, DecodesEachKeyOnce)
+{
+    SharedChunkCache cache;
+    std::atomic<int> decodes{0};
+    const auto decoder = [&](std::vector<Instruction> &out) {
+        ++decodes;
+        out.resize(4);
+    };
+    const auto b1 = cache.get("f", 0, decoder);
+    const auto b2 = cache.get("f", 0, decoder);
+    const auto b3 = cache.get("f", 1, decoder);
+    EXPECT_EQ(decodes.load(), 2);
+    EXPECT_EQ(b1.get(), b2.get()); // Same shared buffer.
+    EXPECT_NE(b1.get(), b3.get());
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(SharedChunkCache, ConcurrentGetsDecodeOnce)
+{
+    SharedChunkCache cache;
+    std::atomic<int> decodes{0};
+    std::vector<std::thread> threads;
+    std::vector<SharedChunkCache::Buffer> bufs(8);
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            bufs[t] = cache.get("f", 7, [&](std::vector<Instruction> &out) {
+                ++decodes;
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                out.resize(16);
+            });
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(decodes.load(), 1);
+    for (int t = 1; t < 8; ++t)
+        EXPECT_EQ(bufs[0].get(), bufs[t].get());
+}
+
+TEST(SharedChunkCache, EvictsLruWithinBudgetButKeepsSharedBuffersAlive)
+{
+    SharedChunkCache cache(/*budget_bytes=*/sizeof(Instruction) * 6);
+    const auto fill = [](std::vector<Instruction> &out) { out.resize(4); };
+    const auto b0 = cache.get("f", 0, fill);
+    cache.get("f", 1, fill); // Over budget: chunk 0 is evicted (LRU).
+    const auto s = cache.stats();
+    EXPECT_GE(s.evictions, 1u);
+    EXPECT_LE(s.bytes, sizeof(Instruction) * 6);
+    // The evicted buffer stays valid for holders.
+    EXPECT_EQ(b0->size(), 4u);
+    // Re-fetching the evicted chunk decodes again.
+    const auto b0b = cache.get("f", 0, fill);
+    EXPECT_NE(b0.get(), b0b.get());
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SharedChunkCache, ReplaySourcesShareChunksBitIdentically)
+{
+    const std::size_t n = 400;
+    const std::vector<Instruction> insts = loopStream(n);
+    const std::string path = writeTrace("share.btbt", insts, 64);
+
+    SharedChunkCache cache;
+    TraceReplaySource::Options priv;
+    priv.shared_cache = nullptr;
+    TraceReplaySource::Options shared = priv;
+    shared.shared_cache = &cache;
+
+    TraceReplaySource a(path, shared);
+    TraceReplaySource b(path, shared);
+    TraceReplaySource ref(path, priv);
+
+    // Cover wraps too: the seam chunk must stay correct (and private).
+    for (std::size_t i = 0; i < 2 * n + 17; ++i) {
+        const Instruction &want = ref.next();
+        expectSame(want, a.next(), i);
+        expectSame(want, b.next(), i);
+    }
+
+    // 400 insts / 64 per chunk = 7 chunks; the last is the (private)
+    // wrap seam, so 6 are shared: decoded once, then hits.
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 6u);
+    EXPECT_GE(s.hits, 6u); // Second source hits every shared chunk.
+}
+
+TEST(SharedChunkCache, OptionsFromEnvFollowsKnobAndProcessDefault)
+{
+    ASSERT_FALSE(SharedChunkCache::processDefault());
+    {
+        ScopedEnv e("BTBSIM_REPLAY_SHARED", "1");
+        EXPECT_EQ(TraceReplaySource::Options::fromEnv().shared_cache,
+                  &SharedChunkCache::instance());
+    }
+    {
+        ScopedEnv e("BTBSIM_REPLAY_SHARED", "0");
+        EXPECT_EQ(TraceReplaySource::Options::fromEnv().shared_cache,
+                  nullptr);
+    }
+    {
+        ScopedEnv e("BTBSIM_REPLAY_SHARED", nullptr);
+        EXPECT_EQ(TraceReplaySource::Options::fromEnv().shared_cache,
+                  nullptr);
+        SharedChunkCache::setProcessDefault(true);
+        EXPECT_EQ(TraceReplaySource::Options::fromEnv().shared_cache,
+                  &SharedChunkCache::instance());
+        // An explicit 0 still wins over the process default.
+        ScopedEnv off("BTBSIM_REPLAY_SHARED", "0");
+        EXPECT_EQ(TraceReplaySource::Options::fromEnv().shared_cache,
+                  nullptr);
+    }
+    SharedChunkCache::setProcessDefault(false);
+}

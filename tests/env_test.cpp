@@ -44,7 +44,8 @@ TEST(Env, EveryDocumentedKnobIsRegistered)
           "BTBSIM_SPANS", "BTBSIM_SPAN_CAP", "BTBSIM_SPAN_OUT",
           "BTBSIM_HOST_COUNTERS", "BTBSIM_PROGRESS_FD",
           "BTBSIM_PROGRESS_FILE", "BTBSIM_TRACE", "BTBSIM_TRACE_CAP",
-          "BTBSIM_TRACE_DIR", "BTBSIM_JSON_OUT", "BTBSIM_CSV_OUT"})
+          "BTBSIM_TRACE_DIR", "BTBSIM_JSON_OUT", "BTBSIM_CSV_OUT",
+          "BTBSIM_REPLAY_SHARED", "BTBSIM_SHARDS", "BTBSIM_SERVE_SOCKET"})
         EXPECT_TRUE(env::isKnown(name)) << name;
 }
 

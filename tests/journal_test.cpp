@@ -1,0 +1,208 @@
+/** @file Tests for the durable sweep-completion journal (exp/journal.h):
+ *  single-write+fdatasync appends, torn-tail crash recovery, resume. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "exp/journal.h"
+#include "obs/json.h"
+
+using namespace btbsim;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + "btbsim_journal_" + name;
+    std::filesystem::remove(path);
+    return path;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << content;
+}
+
+exp::JournalRecord
+record(const std::string &digest, const std::string &status)
+{
+    exp::JournalRecord r;
+    r.digest = digest;
+    r.status = status;
+    r.config = "cfg";
+    r.workload = "wl";
+    r.attempts = status == "cached" ? 0 : 1;
+    return r;
+}
+
+std::vector<std::string>
+lines(const std::string &content)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < content.size()) {
+        const std::size_t nl = content.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        out.push_back(content.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Journal, AppendIsImmediatelyDurableOnDisk)
+{
+    const std::string path = tmpPath("append.jsonl");
+    exp::Journal j(path, /*resume=*/false);
+    ASSERT_TRUE(j.open());
+
+    j.append(record("d-ok", "ok"));
+    // Visible on disk right away — no buffering, no close() needed
+    // (this is what makes a kill -9 between records lossless).
+    {
+        const auto ls = lines(readFile(path));
+        ASSERT_EQ(ls.size(), 1u);
+        const obs::JsonValue v = obs::parseJson(ls[0]);
+        EXPECT_EQ(v.at("digest").asString(), "d-ok");
+        EXPECT_EQ(v.at("status").asString(), "ok");
+        EXPECT_EQ(v.at("config").asString(), "cfg");
+    }
+
+    j.append(record("d-cached", "cached"));
+    j.append(record("d-failed", "failed"));
+    EXPECT_EQ(lines(readFile(path)).size(), 3u);
+
+    // Only ok/cached count as completed work.
+    EXPECT_TRUE(j.completedBefore("d-ok"));
+    EXPECT_TRUE(j.completedBefore("d-cached"));
+    EXPECT_FALSE(j.completedBefore("d-failed"));
+    EXPECT_EQ(j.completedCount(), 2u);
+}
+
+TEST(Journal, RenderLineIsSingleLineJson)
+{
+    exp::JournalRecord r = record("abc", "failed");
+    r.error = "boom\nsecond line";
+    const std::string line = exp::Journal::renderLine(r);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const obs::JsonValue v = obs::parseJson(line);
+    EXPECT_EQ(v.at("error").asString(), "boom\nsecond line");
+    EXPECT_EQ(v.at("attempts").asNumber(), 1.0);
+}
+
+TEST(Journal, RecoverDropsOnlyTheTornTail)
+{
+    const std::string path = tmpPath("torn.jsonl");
+    const std::string l1 = exp::Journal::renderLine(record("d1", "ok"));
+    const std::string l2 = exp::Journal::renderLine(record("d2", "cached"));
+    const std::string good = l1 + "\n" + l2 + "\n";
+    // A record that died mid-write(2): no trailing newline.
+    writeFile(path, good + R"({"digest":"d3","sta)");
+
+    const auto completed = exp::Journal::recover(path);
+    EXPECT_EQ(completed.size(), 2u);
+    EXPECT_TRUE(completed.count("d1"));
+    EXPECT_TRUE(completed.count("d2"));
+    // The torn tail is gone from disk; the valid prefix is untouched.
+    EXPECT_EQ(readFile(path), good);
+}
+
+TEST(Journal, RecoverTreatsUnparseableFinalLineAsTorn)
+{
+    const std::string path = tmpPath("badtail.jsonl");
+    const std::string l1 = exp::Journal::renderLine(record("d1", "ok"));
+    const std::string good = l1 + "\n";
+    writeFile(path, good + "not json at all\n");
+
+    const auto completed = exp::Journal::recover(path);
+    EXPECT_EQ(completed.size(), 1u);
+    EXPECT_EQ(readFile(path), good);
+}
+
+TEST(Journal, RecoverPreservesInteriorJunk)
+{
+    const std::string path = tmpPath("junk.jsonl");
+    const std::string l1 = exp::Journal::renderLine(record("d1", "ok"));
+    const std::string l2 = exp::Journal::renderLine(record("d2", "ok"));
+    const std::string content = l1 + "\n# a diagnostic note\n" + l2 + "\n";
+    writeFile(path, content);
+
+    const auto completed = exp::Journal::recover(path);
+    EXPECT_EQ(completed.size(), 2u);
+    // Interior junk is skipped on load but not truncated away.
+    EXPECT_EQ(readFile(path), content);
+}
+
+TEST(Journal, RecoverMissingFileIsEmpty)
+{
+    EXPECT_TRUE(exp::Journal::recover(tmpPath("missing.jsonl")).empty());
+}
+
+TEST(Journal, ResumeRecoversThenAppends)
+{
+    const std::string path = tmpPath("resume.jsonl");
+    const std::string l1 = exp::Journal::renderLine(record("d1", "ok"));
+    // Simulate a crash mid-append of the second record.
+    writeFile(path, l1 + "\n" + R"({"digest":"d2")");
+
+    exp::Journal j(path, /*resume=*/true);
+    ASSERT_TRUE(j.open());
+    EXPECT_TRUE(j.completedBefore("d1"));
+    EXPECT_FALSE(j.completedBefore("d2"));
+    EXPECT_EQ(j.completedCount(), 1u);
+
+    j.append(record("d2", "ok"));
+    const auto ls = lines(readFile(path));
+    ASSERT_EQ(ls.size(), 2u);
+    EXPECT_EQ(obs::parseJson(ls[0]).at("digest").asString(), "d1");
+    EXPECT_EQ(obs::parseJson(ls[1]).at("digest").asString(), "d2");
+}
+
+TEST(Journal, FreshOpenTruncates)
+{
+    const std::string path = tmpPath("trunc.jsonl");
+    writeFile(path,
+              exp::Journal::renderLine(record("old", "ok")) + "\n");
+    exp::Journal j(path, /*resume=*/false);
+    ASSERT_TRUE(j.open());
+    EXPECT_EQ(j.completedCount(), 0u);
+    EXPECT_EQ(readFile(path), "");
+}
+
+TEST(Journal, EmptyPathDisables)
+{
+    exp::Journal j("", true);
+    EXPECT_FALSE(j.open());
+    j.append(record("d", "ok")); // Must be a safe no-op.
+    EXPECT_EQ(j.completedCount(), 0u);
+}
+
+TEST(Journal, CreatesParentDirectories)
+{
+    const std::string dir =
+        ::testing::TempDir() + "btbsim_journal_nested";
+    std::filesystem::remove_all(dir);
+    const std::string path = dir + "/a/b/j.jsonl";
+    exp::Journal j(path, true);
+    ASSERT_TRUE(j.open());
+    j.append(record("d", "ok"));
+    EXPECT_EQ(exp::Journal::recover(path).size(), 1u);
+}

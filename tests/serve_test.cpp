@@ -1,0 +1,377 @@
+/** @file End-to-end tests for the sweep service: protocol round trips,
+ *  daemon request handling, dedup, disconnects, crash-resume. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/journal.h"
+#include "exp/run_cache.h"
+#include "serve/client.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace btbsim;
+using namespace btbsim::serve;
+
+namespace {
+
+SimStats
+fakeSim(const CpuConfig &c, const WorkloadSpec &w, const RunOptions &o)
+{
+    SimStats s;
+    s.config = c.btb.name();
+    s.workload = w.name;
+    s.instructions = o.measure;
+    s.cycles = o.measure * 2 + w.params.seed;
+    s.ipc = static_cast<double>(s.instructions) /
+            static_cast<double>(s.cycles);
+    s.counters["fake.seed"] = static_cast<double>(w.params.seed);
+    return s;
+}
+
+BatchSpec
+smallBatch(const std::string &name = "t-batch")
+{
+    BatchSpec b;
+    b.name = name;
+    b.run.warmup = 10;
+    b.run.measure = 1000;
+    b.run.threads = 2;
+    b.configs.resize(2);
+    b.configs[0].btb = BtbConfig::ibtb(16);
+    b.configs[1].btb = BtbConfig::bbtb(4);
+    b.workloads.resize(3);
+    for (std::size_t i = 0; i < b.workloads.size(); ++i) {
+        b.workloads[i].name = "wl" + std::to_string(i);
+        b.workloads[i].params.seed = 100 + i;
+    }
+    return b;
+}
+
+/** Unique short socket path (AF_UNIX paths are length-limited). */
+std::string
+sockPath(const std::string &tag)
+{
+    const std::string p = ::testing::TempDir() + "btbsim_sv_" + tag + ".sock";
+    std::filesystem::remove(p);
+    return p;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+ServerOptions
+serverOptions(const std::string &tag, const std::string &cache_dir = "")
+{
+    ServerOptions o;
+    o.socket_path = sockPath(tag);
+    o.shards = 2;
+    o.cache_dir = cache_dir;
+    o.simulate = fakeSim;
+    return o;
+}
+
+} // namespace
+
+TEST(ServeProtocol, BatchJsonRoundTripsAndDigestIsStable)
+{
+    const BatchSpec b = smallBatch();
+    const std::string json = canonicalBatchJson(b);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    const BatchSpec back = batchFromJson(obs::parseJson(json));
+    EXPECT_EQ(canonicalBatchJson(back), json);
+    EXPECT_EQ(batchDigest(back), batchDigest(b));
+    EXPECT_EQ(batchDigest(b).size(), 64u);
+
+    // Any semantic change moves the digest.
+    BatchSpec other = smallBatch();
+    other.run.measure += 1;
+    EXPECT_NE(batchDigest(other), batchDigest(b));
+}
+
+TEST(ServeProtocol, RequestRoundTripAndValidation)
+{
+    Request r;
+    r.op = "submit";
+    r.batch = smallBatch();
+    r.has_batch = true;
+    const Request back = requestFromLine(requestToLine(r));
+    EXPECT_EQ(back.op, "submit");
+    ASSERT_TRUE(back.has_batch);
+    EXPECT_EQ(batchDigest(back.batch), batchDigest(r.batch));
+
+    EXPECT_THROW(requestFromLine("{not json"), std::runtime_error);
+    EXPECT_THROW(requestFromLine(R"({"op":"frobnicate"})"),
+                 std::runtime_error);
+    EXPECT_THROW(requestFromLine(R"({"op":"status"})"),
+                 std::runtime_error);
+    // Protocol version mismatch is rejected, not misparsed.
+    BatchSpec b = smallBatch();
+    std::string json = canonicalBatchJson(b);
+    const std::string from = "\"_schema\": " +
+                             std::to_string(kServeProtocolVersion);
+    json.replace(json.find(from), from.size(), "\"_schema\": 999");
+    EXPECT_THROW(batchFromJson(obs::parseJson(json)), std::runtime_error);
+}
+
+TEST(Serve, PingAndUnknownBatchStatus)
+{
+    Server server(serverOptions("ping"));
+    server.start();
+    ServeClient client(server.socketPath());
+    EXPECT_EQ(client.ping(), kServeProtocolVersion);
+    EXPECT_THROW(client.status(std::string(64, 'f')), std::runtime_error);
+    server.stop();
+}
+
+TEST(Serve, MalformedRequestReportsErrorAndConnectionStaysUsable)
+{
+    Server server(serverOptions("malformed"));
+    server.start();
+
+    LineConn conn = unixConnect(server.socketPath());
+    ASSERT_TRUE(conn.valid());
+    // Malformed JSON batch -> one error record, connection survives.
+    ASSERT_TRUE(conn.sendLine(R"({"op":"submit","batch":{"broken")"));
+    std::string line;
+    ASSERT_TRUE(conn.recvLine(&line));
+    EXPECT_NE(obs::parseJson(line).at("type").asString(), "pong");
+    EXPECT_EQ(obs::parseJson(line).at("type").asString(), "error");
+
+    ASSERT_TRUE(conn.sendLine(R"({"op":"ping"})"));
+    ASSERT_TRUE(conn.recvLine(&line));
+    EXPECT_EQ(obs::parseJson(line).at("type").asString(), "pong");
+    server.stop();
+}
+
+TEST(Serve, SubmitStreamsPointsAndResultsMatchLocalRunBitIdentically)
+{
+    Server server(serverOptions("stream"));
+    server.start();
+    const BatchSpec batch = smallBatch();
+
+    ServeClient client(server.socketPath());
+    std::atomic<int> points{0};
+    const BatchOutcome outcome =
+        client.submit(batch, [&](const obs::JsonValue &p) {
+            ++points;
+            EXPECT_EQ(p.at("sweep").asString(), batch.name);
+            EXPECT_EQ(p.at("total").asNumber(), 6.0);
+            EXPECT_EQ(p.at("digest").asString().size(), 64u);
+        });
+    EXPECT_FALSE(outcome.dedup);
+    EXPECT_EQ(outcome.batch_id, batchDigest(batch));
+    EXPECT_EQ(outcome.total, 6u);
+    EXPECT_EQ(outcome.ok, 6u);
+    EXPECT_EQ(outcome.failed, 0u);
+    EXPECT_EQ(points.load(), 6);
+    EXPECT_EQ(outcome.shards, 2u);
+
+    // Results are bit-identical to a plain in-process run.
+    std::vector<ResultPoint> got;
+    BatchOutcome end;
+    ASSERT_TRUE(client.results(outcome.batch_id, &got, &end));
+    ASSERT_EQ(got.size(), 6u);
+
+    exp::ExperimentOptions ref_opt;
+    ref_opt.run = batch.run;
+    ref_opt.simulate = fakeSim;
+    const auto ref = exp::runExperiment(batch.name, batch.configs,
+                                        batch.workloads, std::move(ref_opt));
+    ASSERT_TRUE(ref.allOk());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].digest, ref.points[i].digest);
+        EXPECT_EQ(exp::statsToJson(got[i].stats),
+                  exp::statsToJson(ref.points[i].stats));
+    }
+    server.stop();
+}
+
+TEST(Serve, DuplicateSubmissionDedupsAndRunsNothingTwice)
+{
+    std::atomic<int> sim_calls{0};
+    ServerOptions opt = serverOptions("dedup");
+    opt.simulate = [&](const CpuConfig &c, const WorkloadSpec &w,
+                       const RunOptions &o) {
+        ++sim_calls;
+        return fakeSim(c, w, o);
+    };
+    Server server(std::move(opt));
+    server.start();
+    const BatchSpec batch = smallBatch();
+
+    ServeClient c1(server.socketPath());
+    const BatchOutcome first = c1.submit(batch);
+    EXPECT_FALSE(first.dedup);
+    EXPECT_EQ(sim_calls.load(), 6);
+
+    // Same content, new connection: attaches, simulates nothing.
+    ServeClient c2(server.socketPath());
+    const BatchOutcome second = c2.submit(batch);
+    EXPECT_TRUE(second.dedup);
+    EXPECT_EQ(second.batch_id, first.batch_id);
+    EXPECT_EQ(second.total, 6u);
+    EXPECT_EQ(sim_calls.load(), 6);
+
+    std::vector<ResultPoint> r1, r2;
+    BatchOutcome e1, e2;
+    ASSERT_TRUE(c1.results(first.batch_id, &r1, &e1));
+    ASSERT_TRUE(c2.results(second.batch_id, &r2, &e2));
+    ASSERT_EQ(r1.size(), r2.size());
+    for (std::size_t i = 0; i < r1.size(); ++i)
+        EXPECT_EQ(exp::statsToJson(r1[i].stats),
+                  exp::statsToJson(r2[i].stats));
+    server.stop();
+}
+
+TEST(Serve, ClientDisconnectMidStreamDoesNotKillTheBatch)
+{
+    std::atomic<int> sim_calls{0};
+    ServerOptions opt = serverOptions("disco");
+    opt.shards = 1;
+    opt.simulate = [&](const CpuConfig &c, const WorkloadSpec &w,
+                       const RunOptions &o) {
+        ++sim_calls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return fakeSim(c, w, o);
+    };
+    Server server(std::move(opt));
+    server.start();
+    const BatchSpec batch = smallBatch();
+    const std::string id = batchDigest(batch);
+
+    // Submit raw, read the ack, then vanish mid-stream.
+    {
+        LineConn conn = unixConnect(server.socketPath());
+        ASSERT_TRUE(conn.valid());
+        Request r;
+        r.op = "submit";
+        r.batch = batch;
+        r.has_batch = true;
+        ASSERT_TRUE(conn.sendLine(requestToLine(r)));
+        std::string ack;
+        ASSERT_TRUE(conn.recvLine(&ack));
+        EXPECT_EQ(obs::parseJson(ack).at("type").asString(), "batch");
+    } // Connection closed while points are still streaming.
+
+    // The batch must finish for everyone else.
+    ServeClient other(server.socketPath());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        const BatchStatus s = other.status(id);
+        if (s.state == "done")
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "batch did not finish after subscriber disconnect";
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(sim_calls.load(), 6);
+    std::vector<ResultPoint> got;
+    BatchOutcome end;
+    ASSERT_TRUE(other.results(id, &got, &end));
+    EXPECT_EQ(got.size(), 6u);
+    server.stop();
+}
+
+TEST(Serve, KillAndResumeRunsNoConfigTwiceAndMergesBitIdentically)
+{
+    const std::string cache_dir = freshDir("serve_resume_cache");
+    const BatchSpec batch = smallBatch("t-resume");
+    const std::string id = batchDigest(batch);
+
+    // --- First daemon "crashes" partway: the simulate hook dies after
+    // 2 points, so 2 completions reach the durable journal + run cache
+    // and the rest fail (retries=0 keeps attempts deterministic).
+    std::atomic<int> first_calls{0};
+    {
+        ServerOptions opt = serverOptions("res1", cache_dir);
+        opt.shards = 1;
+        opt.retries = 0;
+        opt.simulate = [&](const CpuConfig &c, const WorkloadSpec &w,
+                           const RunOptions &o) {
+            if (first_calls.fetch_add(1) >= 2)
+                throw std::runtime_error("injected crash");
+            return fakeSim(c, w, o);
+        };
+        Server server(std::move(opt));
+        server.start();
+        ServeClient client(server.socketPath());
+        const BatchOutcome out = client.submit(batch);
+        EXPECT_EQ(out.ok, 2u);
+        EXPECT_EQ(out.failed, 4u);
+        server.stop();
+    }
+    // The journal recorded exactly the completed work.
+    EXPECT_EQ(exp::Journal::recover(cache_dir + "/journal/serve-" + id +
+                                    ".jsonl")
+                  .size(),
+              2u);
+
+    // --- Restarted daemon, same cache dir: resubmit completes without
+    // re-running the journaled points.
+    std::atomic<int> second_calls{0};
+    std::vector<ResultPoint> got;
+    BatchOutcome end;
+    {
+        ServerOptions opt = serverOptions("res2", cache_dir);
+        opt.shards = 2;
+        opt.simulate = [&](const CpuConfig &c, const WorkloadSpec &w,
+                           const RunOptions &o) {
+            ++second_calls;
+            return fakeSim(c, w, o);
+        };
+        Server server(std::move(opt));
+        server.start();
+        ServeClient client(server.socketPath());
+        const BatchOutcome out = client.submit(batch);
+        EXPECT_EQ(out.total, 6u);
+        EXPECT_EQ(out.failed, 0u);
+        EXPECT_EQ(out.ok + out.cached, 6u);
+        EXPECT_EQ(out.cached, 2u);  // The crashed run's completed points.
+        EXPECT_EQ(out.resumed, 2u); // ...credited to the journal.
+        ASSERT_TRUE(client.results(id, &got, &end));
+        server.stop();
+    }
+    // No config ran twice across the crash: 2 before + 4 after.
+    EXPECT_EQ(second_calls.load(), 4);
+
+    // Merged results are bit-identical to an uninterrupted local run.
+    exp::ExperimentOptions ref_opt;
+    ref_opt.run = batch.run;
+    ref_opt.simulate = fakeSim;
+    const auto ref = exp::runExperiment(batch.name, batch.configs,
+                                        batch.workloads, std::move(ref_opt));
+    ASSERT_TRUE(ref.allOk());
+    ASSERT_EQ(got.size(), 6u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].digest, ref.points[i].digest);
+        EXPECT_EQ(exp::statsToJson(got[i].stats),
+                  exp::statsToJson(ref.points[i].stats));
+    }
+}
+
+TEST(Serve, ShutdownRequestDrainsWait)
+{
+    Server server(serverOptions("shutdown"));
+    server.start();
+    std::thread waiter([&] { server.wait(); });
+    ServeClient client(server.socketPath());
+    EXPECT_TRUE(client.shutdown());
+    waiter.join(); // wait() returns (and stop()s) after the request.
+    // Socket is gone: new connections fail.
+    EXPECT_FALSE(unixConnect(server.socketPath()).valid());
+}

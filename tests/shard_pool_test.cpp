@@ -1,0 +1,206 @@
+/** @file Tests for the persistent shard pool (serve/shard_pool.h) as a
+ *  SweepExecutor, and its BTBSIM_SHARDS env opt-in. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "env_util.h"
+#include "exp/experiment.h"
+#include "exp/run_cache.h"
+#include "serve/shard_pool.h"
+#include "traceio/chunk_cache.h"
+
+using namespace btbsim;
+using btbsim::test::ScopedEnv;
+
+namespace {
+
+SimStats
+fakeSim(const CpuConfig &c, const WorkloadSpec &w, const RunOptions &o)
+{
+    SimStats s;
+    s.config = c.btb.name();
+    s.workload = w.name;
+    s.instructions = o.measure;
+    s.cycles = o.measure * 2 + w.params.seed;
+    s.ipc = static_cast<double>(s.instructions) /
+            static_cast<double>(s.cycles);
+    return s;
+}
+
+std::vector<CpuConfig>
+configs()
+{
+    std::vector<CpuConfig> v(3);
+    v[0].btb = BtbConfig::ibtb(16);
+    v[1].btb = BtbConfig::rbtb(2);
+    v[2].btb = BtbConfig::bbtb(4);
+    return v;
+}
+
+std::vector<WorkloadSpec>
+workloads()
+{
+    std::vector<WorkloadSpec> v(4);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i].name = "wl" + std::to_string(i);
+        v[i].params.seed = 10 + i;
+    }
+    return v;
+}
+
+/** Architectural stats only: host-side timing (wall seconds, span
+ *  profiles, perf counters) legitimately varies between runs. */
+std::string
+archJson(SimStats s)
+{
+    s.host_seconds = 0.0;
+    s.minst_per_host_sec = 0.0;
+    s.source_minst_per_sec = 0.0;
+    s.span_profile = {};
+    s.host_counters_available = false;
+    return exp::statsToJson(s);
+}
+
+exp::ExperimentOptions
+baseOptions()
+{
+    exp::ExperimentOptions o;
+    o.run.warmup = 10;
+    o.run.measure = 1000;
+    o.run.threads = 2;
+    o.simulate = fakeSim;
+    return o;
+}
+
+} // namespace
+
+TEST(ShardPool, RunsEverySlotExactlyOnce)
+{
+    serve::ShardPool pool(3);
+    EXPECT_EQ(pool.shards(), 3u);
+    EXPECT_EQ(pool.width(1), 3u); // A persistent pool ignores requests.
+    EXPECT_EQ(pool.width(64), 3u);
+
+    std::mutex mu;
+    std::set<unsigned> slots;
+    std::atomic<int> calls{0};
+    pool.run([&](unsigned slot) {
+        ++calls;
+        std::lock_guard<std::mutex> lk(mu);
+        slots.insert(slot);
+    });
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(slots, (std::set<unsigned>{0, 1, 2}));
+
+    // A second dispatch reuses the same threads.
+    pool.run([&](unsigned) { ++calls; });
+    EXPECT_EQ(calls.load(), 6);
+    const auto stats = pool.stats();
+    ASSERT_EQ(stats.size(), 3u);
+    for (const auto &s : stats)
+        EXPECT_EQ(s.jobs, 2u);
+}
+
+TEST(ShardPool, ZeroResolvesToHardwareConcurrency)
+{
+    serve::ShardPool pool(0);
+    EXPECT_GE(pool.shards(), 1u);
+}
+
+TEST(ShardPool, SweepOnPoolMatchesPlainThreadsBitIdentically)
+{
+    exp::ExperimentOptions plain = baseOptions();
+    const auto ref =
+        exp::runExperiment("sp-ref", configs(), workloads(), plain);
+    ASSERT_TRUE(ref.allOk());
+
+    serve::ShardPool pool(4);
+    exp::ExperimentOptions pooled = baseOptions();
+    pooled.executor = &pool;
+    const auto got =
+        exp::runExperiment("sp-pool", configs(), workloads(), pooled);
+    ASSERT_TRUE(got.allOk());
+
+    // Same points, same order, bit-identical stats.
+    ASSERT_EQ(got.points.size(), ref.points.size());
+    for (std::size_t i = 0; i < ref.points.size(); ++i) {
+        EXPECT_EQ(got.points[i].digest, ref.points[i].digest);
+        EXPECT_EQ(exp::statsToJson(got.points[i].stats),
+                  exp::statsToJson(ref.points[i].stats));
+    }
+
+    // Per-shard utilization covers the pool's width and sums to the
+    // sweep's point count.
+    ASSERT_EQ(got.shards.size(), 4u);
+    std::size_t points = 0;
+    for (const exp::ShardUtil &u : got.shards)
+        points += u.points;
+    EXPECT_EQ(points, got.points.size());
+    const auto counters = got.counters();
+    EXPECT_EQ(counters.at("exp.shards"), 4.0);
+    EXPECT_TRUE(counters.count("exp.shard3.points"));
+}
+
+TEST(ShardPool, FromEnvCreatesPoolOnceAndEnablesSharedCache)
+{
+    // NOTE: fromEnv resolves BTBSIM_SHARDS once per process, so this
+    // test owns the env-driven path for the whole binary.
+    ASSERT_FALSE(traceio::SharedChunkCache::processDefault());
+    ScopedEnv e("BTBSIM_SHARDS", "2");
+    serve::ShardPool *pool = serve::ShardPool::fromEnv();
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->shards(), 2u);
+    EXPECT_TRUE(traceio::SharedChunkCache::processDefault());
+
+    // Resolved once: later knob changes are ignored.
+    ScopedEnv off("BTBSIM_SHARDS", "7");
+    EXPECT_EQ(serve::ShardPool::fromEnv(), pool);
+
+    exp::ExperimentOptions opt = baseOptions();
+    EXPECT_EQ(serve::applyEnvPool(opt), pool);
+    EXPECT_EQ(opt.executor, pool);
+
+    const auto r = exp::runExperiment("sp-env", configs(), workloads(),
+                                      std::move(opt));
+    EXPECT_TRUE(r.allOk());
+    EXPECT_EQ(r.shards.size(), 2u);
+    traceio::SharedChunkCache::setProcessDefault(false);
+}
+
+TEST(ShardPool, RunMatrixPooledMatchesRunMatrixContract)
+{
+    // applyEnvPool inside runMatrixPooled reuses the already-resolved
+    // process pool (see previous test); either way results must match
+    // the hermetic reference.
+    exp::ExperimentOptions plain = baseOptions();
+    const auto ref =
+        exp::runExperiment("sp-rm-ref", configs(), workloads(), plain);
+
+    ScopedEnv cache("BTBSIM_RUN_CACHE", nullptr);
+    RunOptions run;
+    run.warmup = 10;
+    run.measure = 1000;
+    run.threads = 2;
+    // runMatrixPooled has no simulate hook (it is the real runMatrix
+    // drop-in); use the real simulator via a tiny workload set instead.
+    std::vector<WorkloadSpec> wls(1);
+    wls[0].name = "tiny";
+    wls[0].params.seed = 42;
+    run.warmup = 100;
+    run.measure = 500;
+    std::vector<CpuConfig> cfgs(1);
+    cfgs[0].btb = BtbConfig::ibtb(16);
+
+    const std::vector<SimStats> pooled =
+        serve::runMatrixPooled(cfgs, wls, run);
+    const std::vector<SimStats> direct = runMatrix(cfgs, wls, run);
+    ASSERT_EQ(pooled.size(), direct.size());
+    for (std::size_t i = 0; i < pooled.size(); ++i)
+        EXPECT_EQ(archJson(pooled[i]), archJson(direct[i]));
+    (void)ref;
+}
