@@ -13,8 +13,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "core/btb_org.h"
+#include "core/btb_registry.h"
 #include "core/rbtb.h"
 #include "sim/cpu.h"
 #include "sim/runner.h"
@@ -54,7 +58,7 @@ class HybridBtb : public BtbOrg
                 tracked |= b.slots[i].pc == cur;
             if (tracked)
                 continue;
-            if (Victim *o = overflow_.find(cur))
+            if (Victim *o = touchingFind(overflow_, cur))
                 b.addSlot(0, cur, o->type, o->target, 1);
         }
         b.sortSlots();
@@ -68,7 +72,7 @@ class HybridBtb : public BtbOrg
         inner_.update(br, resteer);
         if (br.taken &&
             inner_.stats.get("slot_displacements") != displaced_before) {
-            Victim &o = overflow_.insert(br.pc);
+            Victim &o = fillEntry(overflow_, br.pc);
             o.type = br.branch;
             o.target = br.takenTarget();
         }
@@ -91,8 +95,27 @@ class HybridBtb : public BtbOrg
 
     RegionBtb inner_;
     BtbConfig cfg_;
-    SetAssocTable<Victim> overflow_;
+    SoaSetTable<Victim> overflow_;
 };
+
+// Out-of-tree registration: the organization becomes constructible (and
+// its token parseable) everywhere the registry is consulted — no core
+// edits, no subclass-and-switch in a factory.
+const BtbRegistrar reg_hybrid{
+    "hybrid-rbtb",
+    "Region BTB with an overflow victim store (token hybrid-rbtb<S>)",
+    [](const BtbConfig &c) -> std::unique_ptr<BtbOrg> {
+        return std::make_unique<HybridBtb>(c);
+    },
+    [](const std::string &tok, BtbConfig &out) {
+        if (tok.rfind("hybrid-rbtb", 0) != 0 || tok.size() <= 11)
+            return false;
+        const int n = std::atoi(tok.c_str() + 11);
+        if (n <= 0)
+            return false;
+        out = BtbConfig::rbtb(static_cast<unsigned>(n));
+        return true;
+    }};
 
 } // namespace
 
@@ -115,9 +138,10 @@ main()
         stock_cfg.btb = cfg;
         const SimStats stock = runOne(stock_cfg, spec, opt);
 
-        // Same pipeline, custom organization.
+        // Same pipeline, custom organization resolved by name.
         auto workload = makeWorkload(spec);
-        Cpu cpu(stock_cfg, *workload, std::make_unique<HybridBtb>(cfg));
+        Cpu cpu(stock_cfg, *workload,
+                BtbRegistry::instance().make("hybrid-rbtb", cfg));
         cpu.run(opt.warmup, opt.measure);
         const SimStats hybrid = cpu.stats();
 

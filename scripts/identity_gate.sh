@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Zero-threshold identity gate: re-run every bench with the pinned knobs
+# and diff its JSON against the pre-SoA goldens in results/presoa/.
+set -u
+BUILD=${BUILD:-/root/repo/build-rel}
+GOLD=${GOLD:-/root/repo/results/presoa}
+OUT=${OUT:-/tmp/identity_gate}
+mkdir -p "$OUT"
+export BTBSIM_WARMUP=20000 BTBSIM_MEASURE=50000 BTBSIM_TRACES=2 BTBSIM_RUN_CACHE=0
+BENCHES="bench_ablation_blockend bench_ablation_mbbtb bench_btb_prefetch
+bench_fig10_fetchpcs bench_fig11a_ideal_backend bench_fig11b_bp_sweep
+bench_fig4_ideal_orgs bench_fig5_realistic bench_fig7_rbtb
+bench_fig8_bbtb_mbbtb bench_fig9_blocksize bench_hetero bench_taken_penalty"
+fail=0
+for b in $BENCHES; do
+    BTBSIM_JSON_OUT="$OUT/$b.json" "$BUILD/bench/$b" >/dev/null 2>&1 || { echo "RUN-FAIL $b"; fail=1; continue; }
+    if "$BUILD/src/tools/btbsim-stats" diff "$GOLD/$b.json" "$OUT/$b.json" --threshold 0 >/dev/null 2>&1; then
+        echo "OK   $b"
+    else
+        echo "DIFF $b"
+        fail=1
+    fi
+done
+exit $fail

@@ -78,6 +78,9 @@ Backend::allocate(DynInst &&inst, Cycle now)
     else
         unissued_head_ = &e;
     unissued_tail_ = &e;
+
+    // A new chain entry voids the issue-stage sleep proof.
+    issue_sleep_until_ = 0;
 }
 
 bool
@@ -126,24 +129,67 @@ Backend::runCycle(Cycle now)
     // in place, so long-lived issued entries cost nothing per cycle.
     unsigned issued = 0, loads = 0, stores = 0, misc = 0;
     unsigned window_scanned = 0;
+    // Whole-stage sleep: when the previous walk proved that no entry can
+    // become issuable before issue_sleep_until_ (and nothing was
+    // allocated since — allocate() resets the bound), the walk is a
+    // provable no-op and is skipped outright.
+    if (!cfg_.ideal && issue_sleep_until_ > now)
+        goto commit_stage;
+    {
+    constexpr Cycle kNoWake = ~Cycle{0};
+    Cycle min_wake = kNoWake;
+
     RobEntry *prev = nullptr;
     for (RobEntry *e = cfg_.ideal ? nullptr : unissued_head_; e;) {
-        if (issued >= cfg_.issue_width)
+        if (issued >= cfg_.issue_width) {
+            // Unvisited tail: no bound on it, re-walk next cycle.
+            min_wake = now + 1;
             break;
-        // Only the IQ window of oldest un-issued instructions is eligible.
-        if (++window_scanned > cfg_.iq_size)
+        }
+        // Only the IQ window of oldest un-issued instructions is
+        // eligible (canAllocate() bounds total un-issued to iq_size, so
+        // this break is a safety net rather than a reachable limit).
+        if (++window_scanned > cfg_.iq_size) {
+            min_wake = now + 1;
             break;
+        }
         DynInst &d = e->inst;
         RobEntry *next = e->next_unissued;
         if (d.alloc_cycle >= now) {
             // Allocated this cycle; earliest issue is next cycle.
+            min_wake = std::min(min_wake, now + 1);
             prev = e;
             e = next;
             continue;
         }
 
-        if (!depReady(d.dep1, e->dep1_src, now) ||
-            !depReady(d.dep2, e->dep2_src, now)) {
+        if (e->stall_until <= now &&
+            (!depReady(d.dep1, e->dep1_src, now) ||
+             !depReady(d.dep2, e->dep2_src, now))) {
+            // Bound the next possible wake-up. An issued producer has a
+            // fixed completion cycle. An un-issued producer sits earlier
+            // in the chain (rename order), so it cannot issue at `now`
+            // after this visit: it cannot issue before now+1, and with
+            // >= 1 cycle latencies its consumer cannot be ready before
+            // now+2 (or the producer's own bound + 1, whichever is
+            // later).
+            auto wake = [&](std::uint64_t seq, const RobEntry *src) {
+                if (seq == 0 || seq <= last_committed_seq_ || !src)
+                    return Cycle{0}; // This dep is ready; other one binds.
+                if (!src->issued)
+                    return std::max(now + 2, src->stall_until + 1);
+                return src->inst.complete_cycle <= now
+                           ? Cycle{0}
+                           : src->inst.complete_cycle;
+            };
+            e->stall_until = std::max(wake(d.dep1, e->dep1_src),
+                                      wake(d.dep2, e->dep2_src));
+        }
+
+        if (e->stall_until > now) {
+            // Known-unready until e->stall_until: skip the producer
+            // re-check (and the port logic) entirely.
+            min_wake = std::min(min_wake, e->stall_until);
             prev = e;
             e = next;
             continue;
@@ -151,17 +197,21 @@ Backend::runCycle(Cycle now)
 
         if (d.in.isLoad()) {
             if (loads >= cfg_.load_ports) {
+                // Ready but port-capped: eligible again next cycle.
+                min_wake = std::min(min_wake, now + 1);
                 prev = e;
                 e = next;
                 continue;
             }
         } else if (d.in.isStore()) {
             if (stores >= cfg_.store_ports) {
+                min_wake = std::min(min_wake, now + 1);
                 prev = e;
                 e = next;
                 continue;
             }
         } else if (misc >= cfg_.misc_ports) {
+            min_wake = std::min(min_wake, now + 1);
             prev = e;
             e = next;
             continue;
@@ -192,7 +242,12 @@ Backend::runCycle(Cycle now)
             unissued_tail_ = prev;
         e = next;
     }
+    // kNoWake (nothing pending at all) sleeps until the next allocation
+    // (allocate() clears the bound).
+    issue_sleep_until_ = min_wake;
+    }
 
+  commit_stage:
     // ---- Commit ---------------------------------------------------------
     unsigned commits = 0;
     while (!rob_.empty() && commits < cfg_.commit_width) {

@@ -104,6 +104,13 @@ class Backend
         /// ROB order; issue unlinks, so the per-cycle scan never walks
         /// already-issued entries.
         RobEntry *next_unissued = nullptr;
+        /// Earliest cycle the dependencies can possibly be ready (issued
+        /// producers pin their completion cycle; an un-issued producer
+        /// cannot complete before now+2). Purely a scan shortcut:
+        /// readiness never regresses, so skipping the producer re-check
+        /// until this cycle is timing-identical to re-checking every
+        /// cycle.
+        Cycle stall_until = 0;
     };
 
     BackendConfig cfg_;
@@ -131,6 +138,13 @@ class Backend
 
     RobEntry *unissued_head_ = nullptr;
     RobEntry *unissued_tail_ = nullptr;
+
+    /// Proven lower bound on the next cycle any entry could issue; the
+    /// issue walk is skipped while now < issue_sleep_until_. Reset to 0
+    /// by allocate() (a new entry voids the proof). Purely a scan
+    /// shortcut — every bound is derived from fixed completion cycles,
+    /// so skipped walks are provable no-ops.
+    Cycle issue_sleep_until_ = 0;
 
     bool depReady(std::uint64_t seq, const RobEntry *src, Cycle now) const;
     unsigned execLatency(const DynInst &d, Cycle now);

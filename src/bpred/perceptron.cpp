@@ -21,9 +21,14 @@ HashedPerceptron::HashedPerceptron(const PerceptronConfig &config)
     }
     hist_lengths_.back() = cfg_.max_history;
 
-    tables_.assign(cfg_.num_tables, {});
-    for (auto &t : tables_)
-        t.assign(cfg_.entries_per_table, SignedSatCounter<8>{});
+    weights_.assign(std::size_t{cfg_.num_tables} * cfg_.entries_per_table,
+                    SignedSatCounter<8>{});
+
+    index_bits_ = log2i(cfg_.entries_per_table);
+    index_mask_ = (1ull << index_bits_) - 1;
+    table_hash_.resize(cfg_.num_tables);
+    for (unsigned t = 0; t < cfg_.num_tables; ++t)
+        table_hash_[t] = std::uint64_t{t} * 0x9e3779b97f4a7c15ull >> 48;
 
     theta_ = static_cast<int>(2.14 * cfg_.num_tables + 20.58);
 }
@@ -31,12 +36,10 @@ HashedPerceptron::HashedPerceptron(const PerceptronConfig &config)
 unsigned
 HashedPerceptron::index(Addr pc, unsigned table) const
 {
-    const unsigned bits = log2i(cfg_.entries_per_table);
-    const std::uint64_t mask = (1ull << bits) - 1;
-    std::uint64_t h = (pc >> 2) ^ ((pc >> 2) >> bits) ^
-        (std::uint64_t{table} * 0x9e3779b97f4a7c15ull >> 48);
-    h ^= history_.fold(hist_lengths_[table], bits);
-    return static_cast<unsigned>(h & mask);
+    std::uint64_t h = (pc >> 2) ^ ((pc >> 2) >> index_bits_) ^
+        table_hash_[table];
+    h ^= history_.fold(hist_lengths_[table], index_bits_);
+    return static_cast<unsigned>(h & index_mask_);
 }
 
 int
@@ -44,9 +47,10 @@ HashedPerceptron::sum(Addr pc, std::vector<unsigned> &indices) const
 {
     indices.resize(cfg_.num_tables);
     int s = 0;
+    const SignedSatCounter<8> *w = weights_.data();
     for (unsigned t = 0; t < cfg_.num_tables; ++t) {
         indices[t] = index(pc, t);
-        s += tables_[t][indices[t]].value();
+        s += w[std::size_t{t} * cfg_.entries_per_table + indices[t]].value();
     }
     return s;
 }
@@ -61,8 +65,7 @@ HashedPerceptron::predict(Addr pc) const
 bool
 HashedPerceptron::predictAndTrain(Addr pc, bool taken)
 {
-    std::vector<unsigned> indices;
-    const int s = sum(pc, indices);
+    const int s = sum(pc, scratch_);
     const bool pred = s >= 0;
 
     ++lookups_;
@@ -72,7 +75,8 @@ HashedPerceptron::predictAndTrain(Addr pc, bool taken)
     // Train on mispredict or low confidence.
     if (pred != taken || std::abs(s) <= theta_) {
         for (unsigned t = 0; t < cfg_.num_tables; ++t)
-            tables_[t][indices[t]].add(taken ? 1 : -1);
+            weights_[std::size_t{t} * cfg_.entries_per_table + scratch_[t]]
+                .add(taken ? 1 : -1);
 
         // Adaptive threshold (Seznec-style): grow on mispredicts, shrink
         // when training only because of low confidence.

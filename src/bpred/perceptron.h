@@ -71,8 +71,17 @@ class HashedPerceptron
   private:
     PerceptronConfig cfg_;
     std::vector<unsigned> hist_lengths_;
-    std::vector<std::vector<SignedSatCounter<8>>> tables_;
+    /// Flattened weights: table t entry i lives at t * entries_per_table
+    /// + i (one allocation, one indirection on the sum path).
+    std::vector<SignedSatCounter<8>> weights_;
     GlobalHistory history_;
+
+    unsigned index_bits_ = 0;
+    std::uint64_t index_mask_ = 0;
+    /// Per-table hash constant: t * phi64 >> 48, fixed at construction.
+    std::vector<std::uint64_t> table_hash_;
+    /// Scratch for predictAndTrain (avoids a per-lookup allocation).
+    std::vector<unsigned> scratch_;
 
     int theta_ = 0;
     int tc_ = 0; ///< Adaptive-threshold training counter.

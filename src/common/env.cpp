@@ -15,6 +15,14 @@ knobs()
         {"BTBSIM_TRACES", "6", "Workloads taken from the server suite."},
         {"BTBSIM_THREADS", "0",
          "Worker threads for sweeps (0 = hardware concurrency)."},
+        // core/soa_table + core/way_pred (probe path)
+        {"BTBSIM_SIMD", "auto",
+         "Probe kernel for the SoA set tables: auto (widest supported), "
+         "scalar, sse, avx2; unsupported choices fall back to scalar."},
+        {"BTBSIM_WAYPRED", "off",
+         "Way prediction for the simulated BTB levels: off, utag "
+         "(hashed-tag candidate filter), mru (last-used way first); "
+         "counters appear under btb.waypred.*."},
         // exp/experiment
         {"BTBSIM_RUN_CACHE", "results/cache",
          "Content-addressed run-result store; a path, or 0 to disable."},

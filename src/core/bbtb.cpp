@@ -8,7 +8,7 @@
 namespace btbsim {
 
 BlockBtb::BlockBtb(const BtbConfig &cfg)
-    : cfg_(cfg), table_(cfg, log2i(kInstBytes))
+    : cfg_(cfg), table_(cfg, log2i(kInstBytes), &stats)
 {}
 
 std::uint32_t
@@ -187,7 +187,7 @@ OccupancySample
 BlockBtb::sampleOccupancy() const
 {
     OccupancySample s;
-    auto probe = [](const SetAssocTable<Entry> &t, double &occ, double &red,
+    auto probe = [](const SoaSetTable<Entry> &t, double &occ, double &red,
                     std::uint64_t &n) {
         std::uint64_t entries = 0, slots = 0;
         std::unordered_map<Addr, std::uint32_t> track;

@@ -23,7 +23,7 @@
 #include "common/types.h"
 #include "core/btb_config.h"
 #include "core/prediction_bundle.h"
-#include "core/set_assoc.h"
+#include "core/soa_table.h"
 #include "trace/instruction.h"
 
 namespace btbsim {
@@ -150,12 +150,17 @@ template <typename Entry>
 class TwoLevelTable
 {
   public:
-    TwoLevelTable(const BtbConfig &cfg, unsigned index_shift)
+    using Table = SoaSetTable<Entry>;
+
+    /** @p waypred_stats, when non-null, attaches the BTBSIM_WAYPRED way
+     *  predictor to both levels with counters under waypred.l{1,2}.*. */
+    TwoLevelTable(const BtbConfig &cfg, unsigned index_shift,
+                  StatSet *waypred_stats = nullptr)
         : ideal_(cfg.ideal),
           l1_(cfg.ideal ? 16384 : cfg.l1.sets, cfg.ideal ? 32 : cfg.l1.ways,
-              index_shift),
+              index_shift, WayPredSink{waypred_stats, "waypred.l1."}),
           l2_(cfg.ideal ? 1 : cfg.l2.sets, cfg.ideal ? 1 : cfg.l2.ways,
-              index_shift)
+              index_shift, WayPredSink{waypred_stats, "waypred.l2."})
     {}
 
     /**
@@ -165,12 +170,13 @@ class TwoLevelTable
     std::pair<Entry *, int>
     lookup(Addr key)
     {
-        if (Entry *e = l1_.find(key))
+        if (Entry *e = touchingFind(l1_, key))
             return {e, 1};
         if (ideal_)
             return {nullptr, 0};
-        if (Entry *e = l2_.find(key)) {
-            Entry &filled = l1_.fill(key, *e);
+        if (Entry *e = touchingFind(l2_, key)) {
+            Entry &filled = fillEntry(l1_, key);
+            filled = *e;
             return {&filled, 2};
         }
         return {nullptr, 0};
@@ -180,10 +186,10 @@ class TwoLevelTable
     const Entry *
     peek(Addr key) const
     {
-        if (const Entry *e = l1_.peek(key))
+        if (const Entry *e = peekFind(l1_, key))
             return e;
         if (!ideal_)
-            return l2_.peek(key);
+            return peekFind(l2_, key);
         return nullptr;
     }
 
@@ -194,8 +200,8 @@ class TwoLevelTable
     std::pair<Entry *, Entry *>
     findBoth(Addr key)
     {
-        Entry *a = l1_.find(key);
-        Entry *b = ideal_ ? nullptr : l2_.find(key);
+        Entry *a = touchingFind(l1_, key);
+        Entry *b = ideal_ ? nullptr : touchingFind(l2_, key);
         return {a, b};
     }
 
@@ -203,8 +209,8 @@ class TwoLevelTable
     std::pair<Entry *, Entry *>
     allocate(Addr key)
     {
-        Entry *a = &l1_.insert(key);
-        Entry *b = ideal_ ? nullptr : &l2_.insert(key);
+        Entry *a = &fillEntry(l1_, key);
+        Entry *b = ideal_ ? nullptr : &fillEntry(l2_, key);
         return {a, b};
     }
 
@@ -212,10 +218,10 @@ class TwoLevelTable
     void
     writeBoth(Addr key, const Entry &value)
     {
-        if (Entry *e = l1_.find(key))
+        if (Entry *e = touchingFind(l1_, key))
             *e = value;
         if (!ideal_)
-            if (Entry *e = l2_.find(key))
+            if (Entry *e = touchingFind(l2_, key))
                 *e = value;
     }
 
@@ -223,15 +229,15 @@ class TwoLevelTable
     void
     upsert(Addr key, const Entry &value)
     {
-        if (Entry *e = l1_.find(key))
+        if (Entry *e = touchingFind(l1_, key))
             *e = value;
         else
-            l1_.fill(key, value);
+            fillEntry(l1_, key) = value;
         if (!ideal_) {
-            if (Entry *e = l2_.find(key))
+            if (Entry *e = touchingFind(l2_, key))
                 *e = value;
             else
-                l2_.fill(key, value);
+                fillEntry(l2_, key) = value;
         }
     }
 
@@ -241,21 +247,21 @@ class TwoLevelTable
     peekAuthoritative(Addr key) const
     {
         if (!ideal_)
-            if (const Entry *e = l2_.peek(key))
+            if (const Entry *e = peekFind(l2_, key))
                 return e;
-        return l1_.peek(key);
+        return peekFind(l1_, key);
     }
 
-    SetAssocTable<Entry> &l1() { return l1_; }
-    SetAssocTable<Entry> &l2() { return l2_; }
-    const SetAssocTable<Entry> &l1() const { return l1_; }
-    const SetAssocTable<Entry> &l2() const { return l2_; }
+    Table &l1() { return l1_; }
+    Table &l2() { return l2_; }
+    const Table &l1() const { return l1_; }
+    const Table &l2() const { return l2_; }
     bool ideal() const { return ideal_; }
 
   private:
     bool ideal_;
-    SetAssocTable<Entry> l1_;
-    SetAssocTable<Entry> l2_;
+    Table l1_;
+    Table l2_;
 };
 
 /** Construct the organization described by @p cfg. */

@@ -1,0 +1,67 @@
+#include "core/btb_registry.h"
+
+#include "core/btb_org.h"
+
+namespace btbsim {
+
+BtbRegistry &
+BtbRegistry::instance()
+{
+    static BtbRegistry r;
+    return r;
+}
+
+void
+BtbRegistry::register_org(const std::string &name,
+                          const std::string &summary, Maker maker,
+                          TokenParser parser)
+{
+    for (Org &o : orgs_) {
+        if (o.name == name) {
+            o = {name, summary, std::move(maker), std::move(parser)};
+            return;
+        }
+    }
+    orgs_.push_back({name, summary, std::move(maker), std::move(parser)});
+}
+
+std::unique_ptr<BtbOrg>
+BtbRegistry::make(const std::string &name, const BtbConfig &cfg) const
+{
+    for (const Org &o : orgs_)
+        if (o.name == name)
+            return o.maker(cfg);
+    return nullptr;
+}
+
+bool
+BtbRegistry::isKnown(const std::string &name) const
+{
+    for (const Org &o : orgs_)
+        if (o.name == name)
+            return true;
+    return false;
+}
+
+bool
+BtbRegistry::parseToken(const std::string &token, BtbConfig &out) const
+{
+    for (const Org &o : orgs_)
+        if (o.parser && o.parser(token, out))
+            return true;
+    return false;
+}
+
+std::string
+BtbRegistry::knownNames() const
+{
+    std::string names;
+    for (const Org &o : orgs_) {
+        if (!names.empty())
+            names += ", ";
+        names += o.name;
+    }
+    return names;
+}
+
+} // namespace btbsim

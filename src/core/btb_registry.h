@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Name-keyed registry of BTB organizations.
+ *
+ * Construction goes through registered factory functions instead of a
+ * hard-coded switch: the built-in organizations register themselves in
+ * btb_factory.cpp, and out-of-tree organizations (examples/, plugins)
+ * call BtbRegistry::register_org() at static-init time — no core edits,
+ * no subclass-and-switch. Each registration may also supply a config
+ * token parser (e.g. "rbtb3" -> BtbConfig::rbtb(3)) so CLI surfaces can
+ * resolve and enumerate every known organization uniformly.
+ */
+
+#ifndef BTBSIM_CORE_BTB_REGISTRY_H
+#define BTBSIM_CORE_BTB_REGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/btb_config.h"
+
+namespace btbsim {
+
+class BtbOrg;
+
+class BtbRegistry
+{
+  public:
+    using Maker =
+        std::function<std::unique_ptr<BtbOrg>(const BtbConfig &)>;
+    /** Parse a CLI config token into @p out; return false when the token
+     *  does not belong to this organization. */
+    using TokenParser =
+        std::function<bool(const std::string &, BtbConfig &)>;
+
+    struct Org
+    {
+        std::string name; ///< Canonical key, e.g. "rbtb".
+        std::string summary; ///< One-liner for --help output.
+        Maker maker;
+        TokenParser parser; ///< May be null (not token-addressable).
+    };
+
+    /** Process-wide registry (registrations happen at static init). */
+    static BtbRegistry &instance();
+
+    /** Register under @p name; re-registering a name replaces it (an
+     *  example can shadow a built-in deliberately). */
+    void register_org(const std::string &name, const std::string &summary,
+                      Maker maker, TokenParser parser = nullptr);
+
+    /** Construct @p name with @p cfg; null when the name is unknown. */
+    std::unique_ptr<BtbOrg> make(const std::string &name,
+                                 const BtbConfig &cfg) const;
+
+    bool isKnown(const std::string &name) const;
+
+    /** Try every registered parser against @p token (first match wins,
+     *  registration order). */
+    bool parseToken(const std::string &token, BtbConfig &out) const;
+
+    /** Registered organizations in registration order. */
+    const std::vector<Org> &orgs() const { return orgs_; }
+
+    /** Comma-separated known names for error/help messages. */
+    std::string knownNames() const;
+
+  private:
+    std::vector<Org> orgs_;
+};
+
+/** Static-init helper: `static BtbRegistrar reg{"name", ...};` */
+struct BtbRegistrar
+{
+    BtbRegistrar(const std::string &name, const std::string &summary,
+                 BtbRegistry::Maker maker,
+                 BtbRegistry::TokenParser parser = nullptr)
+    {
+        BtbRegistry::instance().register_org(name, summary,
+                                             std::move(maker),
+                                             std::move(parser));
+    }
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_BTB_REGISTRY_H

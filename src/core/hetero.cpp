@@ -8,15 +8,15 @@ namespace btbsim {
 HeteroBtb::HeteroBtb(const BtbConfig &cfg)
     : cfg_(cfg),
       l1_(cfg.ideal ? 16384 : cfg.l1.sets, cfg.ideal ? 32 : cfg.l1.ways,
-          log2i(kInstBytes)),
+          log2i(kInstBytes), WayPredSink{&stats, "waypred.l1."}),
       l2_(cfg.ideal ? 1 : cfg.l2.sets, cfg.ideal ? 1 : cfg.l2.ways,
-          log2i(cfg.region_bytes))
+          log2i(cfg.region_bytes), WayPredSink{&stats, "waypred.l2."})
 {}
 
 std::uint32_t
 HeteroBtb::blockEnd(Addr start) const
 {
-    if (const BlockEntry *e = l1_.peek(start))
+    if (const BlockEntry *e = peekFind(l1_, start))
         return e->end_bytes;
     return static_cast<std::uint32_t>(reachBytes());
 }
@@ -33,7 +33,7 @@ HeteroBtb::synthesizeFromL2(Addr start)
     bool any_region_hit = false;
     for (Addr region = regionBase(start); region < start + reachBytes();
          region += cfg_.region_bytes) {
-        const RegionEntry *re = l2_.find(region);
+        const RegionEntry *re = touchingFind(l2_, region);
         if (!re)
             continue;
         any_region_hit = true;
@@ -66,7 +66,9 @@ HeteroBtb::synthesizeFromL2(Addr start)
         blk.split = true;
     }
     ++stats["l2_synthesized_fills"];
-    return &l1_.fill(start, blk);
+    BlockEntry &filled = fillEntry(l1_, start);
+    filled = blk;
+    return &filled;
 }
 
 int
@@ -75,7 +77,7 @@ HeteroBtb::beginAccess(Addr pc, PredictionBundle &b)
     ++stats["accesses"];
     BlockEntry *entry = nullptr;
     int level = 0;
-    if ((entry = l1_.find(pc)))
+    if ((entry = touchingFind(l1_, pc)))
         level = 1;
     else if ((entry = synthesizeFromL2(pc)))
         level = 2;
@@ -108,7 +110,7 @@ void
 HeteroBtb::insertIntoBlock(Addr block, Addr pc, BranchClass type, Addr target)
 {
     for (int guard = 0; guard < 64; ++guard) {
-        BlockEntry *e = l1_.find(block);
+        BlockEntry *e = touchingFind(l1_, block);
         BlockEntry canon;
         if (e) {
             canon = *e;
@@ -196,7 +198,7 @@ HeteroBtb::insertIntoBlock(Addr block, Addr pc, BranchClass type, Addr target)
         if (e)
             *e = canon;
         else
-            l1_.fill(block, canon);
+            fillEntry(l1_, block) = canon;
 
         if (spill_type != BranchClass::kNone) {
             block = spill_block;
@@ -214,9 +216,9 @@ HeteroBtb::insertIntoRegion(Addr pc, BranchClass type, Addr target)
 {
     const Addr region = regionBase(pc);
     const auto offset = static_cast<std::uint32_t>(pc - region);
-    RegionEntry *e = l2_.find(region);
+    RegionEntry *e = touchingFind(l2_, region);
     if (!e) {
-        e = &l2_.insert(region);
+        e = &fillEntry(l2_, region);
         ++stats["l2_allocs"];
     }
     Slot *hit = nullptr;
@@ -262,7 +264,7 @@ HeteroBtb::prefill(const Instruction &br)
     // prefill never displaces demand-trained slots.
     const Addr region = regionBase(br.pc);
     const auto offset = static_cast<std::uint32_t>(br.pc - region);
-    if (const RegionEntry *e = l2_.peek(region)) {
+    if (const RegionEntry *e = peekFind(l2_, region)) {
         for (const Slot &s : e->slots)
             if (s.offset == offset)
                 return;

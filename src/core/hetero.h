@@ -59,8 +59,8 @@ class HeteroBtb : public BtbOrg
     };
 
     BtbConfig cfg_;
-    SetAssocTable<BlockEntry> l1_;
-    SetAssocTable<RegionEntry> l2_;
+    SoaSetTable<BlockEntry> l1_;
+    SoaSetTable<RegionEntry> l2_;
     std::uint64_t tick_ = 0;
 
     // Update-side cursor (start of the dynamic block being trained).

@@ -34,7 +34,7 @@ class ShadowL1
     {
         if (const Set *s = findSet(t_.setIndex(key)))
             return s->find(key) != nullptr;
-        return t_.peek(key) != nullptr;
+        return t_.set(key).probe(key) >= 0;
     }
 
     /** Mirror the find() recency touch of an L1-hit lookup. */
@@ -55,8 +55,8 @@ class ShadowL1
     promote(Addr key)
     {
         Set &s = materialize(t_.setIndex(key));
-        // Same victim choice as SetAssocTable::insert(): the key's own
-        // way, else the first invalid way, else the least-recent way.
+        // Same victim choice as SoaSetTable: the key's own way, else the
+        // first invalid way, else the least-recent way.
         ShadowWay *victim = nullptr;
         for (unsigned i = 0; i < s.n_ways; ++i) {
             ShadowWay &w = s.ways[i];
@@ -128,11 +128,11 @@ class ShadowL1
         s.index = index;
         s.n_ways = t_.ways();
         s.tick = 0;
-        const auto *src = t_.setWays(index);
+        const auto src = t_.setAt(index);
         for (unsigned i = 0; i < s.n_ways; ++i) {
-            s.ways[i] = {src[i].key, src[i].lru, src[i].valid};
-            if (src[i].valid && src[i].lru > s.tick)
-                s.tick = src[i].lru;
+            s.ways[i] = {src.key(i), src.stamp(i), src.valid(i)};
+            if (src.valid(i) && src.stamp(i) > s.tick)
+                s.tick = src.stamp(i);
         }
         // Apply the touches queued before this set materialized, in order.
         for (unsigned i = 0; i < n_queued_; ++i)
@@ -152,7 +152,7 @@ class ShadowL1
 } // namespace
 
 InstructionBtb::InstructionBtb(const BtbConfig &cfg)
-    : cfg_(cfg), table_(cfg, log2i(kInstBytes))
+    : cfg_(cfg), table_(cfg, log2i(kInstBytes), &stats)
 {}
 
 /**
@@ -177,11 +177,11 @@ InstructionBtb::fillWindow(Addr start, unsigned count, PredictionBundle &b)
         int level = 1;
         const Entry *e = nullptr;
         if (!two_level) {
-            e = table_.l1().peek(pc);
+            e = peekFind(table_.l1(), pc);
         } else if (shadow.resident(pc)) {
-            e = table_.l1().peek(pc);
+            e = peekFind(table_.l1(), pc);
             shadow.touch(pc);
-        } else if ((e = table_.l2().peek(pc)) != nullptr) {
+        } else if ((e = peekFind(table_.l2(), pc)) != nullptr) {
             level = 2;
             shadow.promote(pc);
         }

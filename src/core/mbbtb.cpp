@@ -10,7 +10,7 @@
 namespace btbsim {
 
 MultiBlockBtb::MultiBlockBtb(const BtbConfig &cfg)
-    : cfg_(cfg), table_(cfg, log2i(kInstBytes))
+    : cfg_(cfg), table_(cfg, log2i(kInstBytes), &stats)
 {}
 
 MultiBlockBtb::Entry
@@ -382,7 +382,7 @@ OccupancySample
 MultiBlockBtb::sampleOccupancy() const
 {
     OccupancySample s;
-    auto probe = [](const SetAssocTable<Entry> &t, double &occ, double &red,
+    auto probe = [](const SoaSetTable<Entry> &t, double &occ, double &red,
                     std::uint64_t &n) {
         std::uint64_t entries = 0, slots = 0;
         std::unordered_map<Addr, std::uint32_t> track;

@@ -8,7 +8,7 @@
 namespace btbsim {
 
 RegionBtb::RegionBtb(const BtbConfig &cfg)
-    : cfg_(cfg), table_(cfg, log2i(cfg.region_bytes))
+    : cfg_(cfg), table_(cfg, log2i(cfg.region_bytes), &stats)
 {}
 
 void
@@ -33,7 +33,7 @@ RegionBtb::beginAccess(Addr pc, PredictionBundle &b)
         // The interleaved L1 can serve the next sequential region in the
         // same cycle, but only on an L1 hit (the L2 is not interleaved).
         const Addr region1 = region0 + cfg_.region_bytes;
-        if (Entry *e1 = table_.l1().find(region1)) {
+        if (Entry *e1 = touchingFind(table_.l1(), region1)) {
             entry1 = e1;
             window_end = region1 + cfg_.region_bytes;
         }
@@ -125,7 +125,7 @@ OccupancySample
 RegionBtb::sampleOccupancy() const
 {
     OccupancySample s;
-    auto probe = [](const SetAssocTable<Entry> &t, double &occ,
+    auto probe = [](const SoaSetTable<Entry> &t, double &occ,
                     std::uint64_t &n) {
         std::uint64_t entries = 0, slots = 0;
         t.forEach([&](Addr, const Entry &e) {

@@ -32,9 +32,9 @@ class RegionBtb : public BtbOrg
     int
     peekLevel(Addr key) const override
     {
-        if (table_.l1().peek(key))
+        if (table_.l1().set(key).probe(key) >= 0)
             return 1;
-        if (!table_.ideal() && table_.l2().peek(key))
+        if (!table_.ideal() && table_.l2().set(key).probe(key) >= 0)
             return 2;
         return 0;
     }

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * SIMD probe kernels and kernel selection for SoaSetTable.
+ *
+ * The SSE4.1/AVX2 bodies are compiled with function-level target
+ * attributes so the translation unit builds on any x86-64 baseline;
+ * resolveSimd() only hands out a kernel the host actually supports
+ * (checked with __builtin_cpu_supports), clamped by BTBSIM_SIMD.
+ */
+
+#include "core/soa_table.h"
+
+#include "common/env.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define BTBSIM_X86 1
+#else
+#define BTBSIM_X86 0
+#endif
+
+namespace btbsim {
+
+namespace detail {
+
+#if BTBSIM_X86
+
+__attribute__((target("sse4.1"))) std::uint32_t
+eqMaskSse(const std::uint64_t *tags, unsigned lanes, std::uint64_t key)
+{
+    const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+    std::uint32_t m = 0;
+    for (unsigned w = 0; w < lanes; w += 2) {
+        const __m128i t =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(tags + w));
+        const __m128i eq = _mm_cmpeq_epi64(t, k);
+        m |= static_cast<std::uint32_t>(
+                 _mm_movemask_pd(_mm_castsi128_pd(eq)))
+             << w;
+    }
+    return m;
+}
+
+__attribute__((target("avx2"))) std::uint32_t
+eqMaskAvx2(const std::uint64_t *tags, unsigned lanes, std::uint64_t key)
+{
+    const __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+    std::uint32_t m = 0;
+    for (unsigned w = 0; w < lanes; w += 4) {
+        const __m256i t = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        const __m256i eq = _mm256_cmpeq_epi64(t, k);
+        m |= static_cast<std::uint32_t>(
+                 _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+             << w;
+    }
+    return m;
+}
+
+#else // !BTBSIM_X86 — never selected by resolveSimd(); keep linkable.
+
+std::uint32_t
+eqMaskSse(const std::uint64_t *tags, unsigned lanes, std::uint64_t key)
+{
+    return eqMaskScalar(tags, lanes, key);
+}
+
+std::uint32_t
+eqMaskAvx2(const std::uint64_t *tags, unsigned lanes, std::uint64_t key)
+{
+    return eqMaskScalar(tags, lanes, key);
+}
+
+#endif // BTBSIM_X86
+
+} // namespace detail
+
+namespace {
+
+bool
+hostSupports(SimdKind kind)
+{
+#if BTBSIM_X86
+    switch (kind) {
+    case SimdKind::kScalar:
+        return true;
+    case SimdKind::kSse:
+        return __builtin_cpu_supports("sse4.1");
+    case SimdKind::kAvx2:
+        return __builtin_cpu_supports("avx2");
+    }
+#else
+    if (kind == SimdKind::kScalar)
+        return true;
+#endif
+    return false;
+}
+
+} // namespace
+
+SimdKind
+resolveSimd()
+{
+    const std::string v = env::str("BTBSIM_SIMD", "auto");
+    if (v == "scalar")
+        return SimdKind::kScalar;
+    if (v == "sse")
+        return hostSupports(SimdKind::kSse) ? SimdKind::kSse
+                                            : SimdKind::kScalar;
+    if (v == "avx2")
+        return hostSupports(SimdKind::kAvx2) ? SimdKind::kAvx2
+                                             : SimdKind::kScalar;
+    // auto: widest supported kernel.
+    if (hostSupports(SimdKind::kAvx2))
+        return SimdKind::kAvx2;
+    if (hostSupports(SimdKind::kSse))
+        return SimdKind::kSse;
+    return SimdKind::kScalar;
+}
+
+const char *
+simdKindName(SimdKind kind)
+{
+    switch (kind) {
+    case SimdKind::kSse:
+        return "sse";
+    case SimdKind::kAvx2:
+        return "avx2";
+    case SimdKind::kScalar:
+        break;
+    }
+    return "scalar";
+}
+
+} // namespace btbsim

@@ -1,0 +1,33 @@
+#include "core/way_pred.h"
+
+#include "common/env.h"
+
+namespace btbsim {
+
+WayPredMode
+wayPredModeFromEnv()
+{
+    const std::string v = env::str("BTBSIM_WAYPRED", "off");
+    if (v == "utag")
+        return WayPredMode::kUtag;
+    if (v == "mru")
+        return WayPredMode::kMru;
+    return WayPredMode::kOff;
+}
+
+WayPredictor::WayPredictor(WayPredMode mode, unsigned sets, unsigned ways,
+                           const WayPredSink &sink)
+    : mode_(mode), ways_(ways), mru_(sets, 0),
+      utags_(static_cast<std::size_t>(sets) * ways, 0)
+{
+    StatSet &s = *sink.stats;
+    const std::string p = sink.prefix;
+    probes = &s[p + "probes"];
+    correct = &s[p + "correct"];
+    wrong = &s[p + "wrong"];
+    fallbacks = &s[p + "fallbacks"];
+    ways_read = &s[p + "ways_read"];
+    misses = &s[p + "misses"];
+}
+
+} // namespace btbsim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Way prediction for set-associative tables: utag / MRU policies layered
+ * on top of SoaSetTable probes.
+ *
+ * The predictor plays two roles at once:
+ *  - *Simulated structure*: per-probe accuracy and energy-proxy counters
+ *    (ways actually read vs. a full parallel tag read) feed the owning
+ *    organization's StatSet and surface in the obs registry under
+ *    "btb.waypred.*".
+ *  - *Host-side first-probe filter*: the predicted way (MRU) or the
+ *    utag-matching candidate set is compared first; only a misprediction
+ *    falls back to the full SIMD probe. Probe *results* are exact either
+ *    way — the filter can cost extra reads, never a wrong hit/miss.
+ *
+ * Selected via BTBSIM_WAYPRED (off | utag | mru); off constructs no
+ * predictor and adds no counters, keeping default runs bit-identical.
+ */
+
+#ifndef BTBSIM_CORE_WAY_PRED_H
+#define BTBSIM_CORE_WAY_PRED_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace btbsim {
+
+enum class WayPredMode : std::uint8_t { kOff, kUtag, kMru };
+
+/** Parse BTBSIM_WAYPRED (off/utag/mru; unknown values mean off). */
+WayPredMode wayPredModeFromEnv();
+
+/**
+ * Optional way-prediction attachment for a table. Tables constructed
+ * without a sink never predict regardless of BTBSIM_WAYPRED — only the
+ * simulated BTB structures opt in; host-side caches/TLBs do not.
+ */
+struct WayPredSink
+{
+    StatSet *stats = nullptr; ///< Owning organization's counter set.
+    const char *prefix = ""; ///< Counter prefix, e.g. "waypred.l1.".
+};
+
+/**
+ * Policy state + counters for one table. Non-template: it sees keys and
+ * way indices only, never entry payloads.
+ *
+ * utag: an 8-bit hash of the key is stored per way on fill; a probe
+ * first compares hashes and reads full tags for matching ways only.
+ * Because the stored utag is always derived from the resident key, the
+ * candidate set provably contains any hitting way (no false negatives);
+ * hash aliases cost extra reads and are counted as @c wrong.
+ *
+ * mru: the last touched/filled way per set is predicted; a probe reads
+ * that single way first and falls back to the full compare on mismatch.
+ */
+class WayPredictor
+{
+  public:
+    WayPredictor(WayPredMode mode, unsigned sets, unsigned ways,
+                 const WayPredSink &sink);
+
+    WayPredMode mode() const { return mode_; }
+
+    /** 8-bit key hash; never 0 so 0 can mean "empty slot". */
+    static std::uint8_t
+    hashKey(Addr key)
+    {
+        const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        const std::uint8_t u = static_cast<std::uint8_t>(h >> 56);
+        return u ? u : 1;
+    }
+
+    unsigned
+    predictedWay(std::size_t set) const
+    {
+        return mru_[set];
+    }
+
+    /** Ways of @p set whose stored utag matches hashKey(@p key). */
+    std::uint32_t
+    utagCandidates(std::size_t set, std::uint8_t hash) const
+    {
+        const std::uint8_t *u = &utags_[set * ways_];
+        std::uint32_t m = 0;
+        for (unsigned w = 0; w < ways_; ++w)
+            m |= static_cast<std::uint32_t>(u[w] == hash) << w;
+        return m;
+    }
+
+    void
+    onTouch(std::size_t set, unsigned way)
+    {
+        mru_[set] = static_cast<std::uint8_t>(way);
+    }
+
+    void
+    onFill(std::size_t set, unsigned way, Addr key)
+    {
+        mru_[set] = static_cast<std::uint8_t>(way);
+        utags_[set * ways_ + way] = hashKey(key);
+    }
+
+    // Counter cells, cached once (StatSet map references are stable).
+    std::uint64_t *probes; ///< Probes seen while predicting.
+    std::uint64_t *correct; ///< Hit found among the predicted ways.
+    std::uint64_t *wrong; ///< Mispredicted/aliased ways read in vain.
+    std::uint64_t *fallbacks; ///< Full probes after a first-probe miss.
+    std::uint64_t *ways_read; ///< Energy proxy: tag words actually read.
+    std::uint64_t *misses; ///< Probes that missed the whole set.
+
+  private:
+    WayPredMode mode_;
+    unsigned ways_;
+    std::vector<std::uint8_t> mru_; ///< Per-set predicted way.
+    std::vector<std::uint8_t> utags_; ///< Per-way hashed tag (0 = empty).
+};
+
+} // namespace btbsim
+
+#endif // BTBSIM_CORE_WAY_PRED_H

@@ -78,12 +78,38 @@ class Ftq
 
     std::deque<FtqEntry> &entries() { return entries_; }
     FtqEntry &front() { return entries_.front(); }
-    void popFront() { entries_.pop_front(); }
-    void clear() { entries_.clear(); }
+
+    void
+    popFront()
+    {
+        // Issued entries form a prefix; dropping an issued front shifts
+        // the first-unissued index left by one.
+        if (first_unissued_ > 0)
+            --first_unissued_;
+        entries_.pop_front();
+    }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        first_unissued_ = 0;
+    }
+
+    /**
+     * Index of the oldest un-issued entry (== size() when all are
+     * issued). Valid because issue happens strictly in queue order and
+     * nothing un-issues an entry.
+     */
+    std::size_t firstUnissued() const { return first_unissued_; }
+
+    /** Record that the entry at firstUnissued() was just issued. */
+    void noteIssued() { ++first_unissued_; }
 
   private:
     std::size_t capacity_;
     std::deque<FtqEntry> entries_;
+    std::size_t first_unissued_ = 0;
 };
 
 } // namespace btbsim

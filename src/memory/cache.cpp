@@ -11,16 +11,6 @@ Cache::Cache(const CacheConfig &cfg, Cache *next, Dram *dram)
 {}
 
 Cycle
-Cache::allocMshr(Cycle now)
-{
-    auto it = std::min_element(mshr_free_.begin(), mshr_free_.end());
-    if (*it > now)
-        ++stats["mshr_full_stalls"];
-    const Cycle start = std::max(now, *it);
-    return start;
-}
-
-Cycle
 Cache::accessLine(Addr line, Cycle now, bool is_prefetch)
 {
     if (!is_prefetch) {
@@ -29,10 +19,18 @@ Cache::accessLine(Addr line, Cycle now, bool is_prefetch)
         ++stats["prefetches"];
     }
 
-    if (Line *l = tags_.find(line)) {
+    // One probe serves both outcomes: the set handle carries the hit way
+    // on a hit and the victim choice on a miss. Nothing between the
+    // probe and the fill re-enters this cache (the recursion below goes
+    // to the *next* level), so the set state cannot change in between.
+    auto set = tags_.set(line);
+    const int w = set.probe(line);
+    if (w >= 0) {
         // Hit, possibly on a line still in flight (MSHR merge).
-        const Cycle available = std::max(now + cfg_.latency, l->ready);
-        if (l->ready > now)
+        set.touch(static_cast<unsigned>(w));
+        Line &l = set.entry(static_cast<unsigned>(w));
+        const Cycle available = std::max(now + cfg_.latency, l.ready);
+        if (l.ready > now)
             ++stats["mshr_merges"];
         return available;
     }
@@ -40,7 +38,10 @@ Cache::accessLine(Addr line, Cycle now, bool is_prefetch)
     if (!is_prefetch)
         ++demand_misses_;
 
-    const Cycle start = allocMshr(now);
+    auto mshr = std::min_element(mshr_free_.begin(), mshr_free_.end());
+    if (*mshr > now)
+        ++stats["mshr_full_stalls"];
+    const Cycle start = std::max(now, *mshr);
     Cycle done;
     if (next_) {
         done = next_->accessLine(line, start, is_prefetch);
@@ -48,11 +49,12 @@ Cache::accessLine(Addr line, Cycle now, bool is_prefetch)
         done = dram_->access(line, start);
     }
 
-    Line &l = tags_.insert(line);
+    Line &l = set.fill(static_cast<unsigned>(set.victim()), line);
     l.ready = done;
 
-    // Charge an MSHR until the fill returns.
-    *std::min_element(mshr_free_.begin(), mshr_free_.end()) = done;
+    // Charge the MSHR until the fill returns (the element picked above
+    // is still the minimum: only other cache objects ran in between).
+    *mshr = done;
 
     if (cfg_.next_line_prefetch && !is_prefetch)
         accessLine(line + kLineBytes, now, true);

@@ -17,7 +17,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
-#include "core/set_assoc.h"
+#include "core/soa_table.h"
 
 namespace btbsim {
 
@@ -82,7 +82,7 @@ class Cache
     void prefetch(Addr addr, Cycle now) { accessLine(lineOf(addr), now, true); }
 
     /** True if the line is present (possibly still in flight). */
-    bool contains(Addr addr) const { return tags_.peek(lineOf(addr)) != nullptr; }
+    bool contains(Addr addr) const { return peekFind(tags_, lineOf(addr)) != nullptr; }
 
     const CacheConfig &config() const { return cfg_; }
 
@@ -100,12 +100,11 @@ class Cache
     static Addr lineOf(Addr addr) { return alignDown(addr, kLineBytes); }
 
     Cycle accessLine(Addr line, Cycle now, bool is_prefetch);
-    Cycle allocMshr(Cycle now);
 
     CacheConfig cfg_;
     Cache *next_;
     Dram *dram_;
-    SetAssocTable<Line> tags_;
+    SoaSetTable<Line> tags_;
     std::vector<Cycle> mshr_free_;
 
     std::uint64_t demand_accesses_ = 0;

@@ -7,12 +7,17 @@ namespace btbsim {
 void
 IpStridePrefetcher::observe(Addr pc, Addr addr, Cycle now, Cache &cache)
 {
-    State *s = table_.find(pc);
-    if (!s) {
-        State &fresh = table_.insert(pc);
+    // One probe covers both outcomes; nothing between the probe and
+    // the fill touches this table.
+    auto set = table_.set(pc);
+    const int w = set.probe(pc);
+    if (w < 0) {
+        State &fresh = set.fill(static_cast<unsigned>(set.victim()), pc);
         fresh.last_addr = addr;
         return;
     }
+    set.touch(static_cast<unsigned>(w));
+    State *s = &set.entry(static_cast<unsigned>(w));
 
     const std::int64_t stride =
         static_cast<std::int64_t>(addr) -

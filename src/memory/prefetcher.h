@@ -9,7 +9,7 @@
 #include <cstdint>
 
 #include "common/types.h"
-#include "core/set_assoc.h"
+#include "core/soa_table.h"
 
 namespace btbsim {
 
@@ -39,7 +39,7 @@ class IpStridePrefetcher
         std::uint8_t confidence = 0;
     };
 
-    SetAssocTable<State> table_;
+    SoaSetTable<State> table_;
     unsigned degree_;
     std::uint64_t issued_ = 0;
 };

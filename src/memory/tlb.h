@@ -8,7 +8,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
-#include "core/set_assoc.h"
+#include "core/soa_table.h"
 
 namespace btbsim {
 
@@ -30,10 +30,14 @@ class L2Tlb
     {
         const Addr page = alignDown(addr, kPageBytes);
         ++accesses_;
-        if (tags_.find(page))
+        auto set = tags_.set(page);
+        const int w = set.probe(page);
+        if (w >= 0) {
+            set.touch(static_cast<unsigned>(w));
             return latency_;
+        }
         ++misses_;
-        tags_.insert(page);
+        set.fill(static_cast<unsigned>(set.victim()), page);
         return latency_ + walk_latency_;
     }
 
@@ -42,7 +46,7 @@ class L2Tlb
 
   private:
     struct Empty {};
-    SetAssocTable<Empty> tags_;
+    SoaSetTable<Empty> tags_;
     unsigned latency_;
     unsigned walk_latency_;
     std::uint64_t accesses_ = 0;
@@ -64,11 +68,15 @@ class Tlb
     {
         const Addr page = alignDown(addr, kPageBytes);
         ++accesses_;
-        if (tags_.find(page))
+        auto set = tags_.set(page);
+        const int w = set.probe(page);
+        if (w >= 0) {
+            set.touch(static_cast<unsigned>(w));
             return latency_;
+        }
         ++misses_;
         const unsigned extra = l2_->access(addr);
-        tags_.insert(page);
+        set.fill(static_cast<unsigned>(set.victim()), page);
         return latency_ + extra;
     }
 
@@ -78,7 +86,7 @@ class Tlb
   private:
     struct Empty {};
     L2Tlb *l2_;
-    SetAssocTable<Empty> tags_;
+    SoaSetTable<Empty> tags_;
     unsigned latency_;
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;

@@ -34,16 +34,18 @@ void
 Cpu::fetchIssue()
 {
     unsigned issues = 0;
-    for (FtqEntry &e : ftq_.entries()) {
+    std::deque<FtqEntry> &entries = ftq_.entries();
+    // Entries before firstUnissued() are all issued; start past them.
+    for (std::size_t i = ftq_.firstUnissued(); i < entries.size(); ++i) {
+        FtqEntry &e = entries[i];
         if (issues >= cfg_.fetch_lines)
             break;
-        if (e.issued)
-            continue;
         if (e.min_issue_cycle > now_)
             break; // Younger entries cannot be earlier.
         const bool was_miss = !mem_.l1i().contains(e.line);
         e.data_ready = mem_.fetchLine(e.line, now_);
         e.issued = true;
+        ftq_.noteIssued();
         ++issues;
         if (cfg_.btb_predecode_fill && was_miss)
             predecodeLine(e.line);

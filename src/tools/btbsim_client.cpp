@@ -36,6 +36,7 @@
 
 #include "common/env.h"
 #include "core/btb_config.h"
+#include "core/btb_registry.h"
 #include "exp/experiment.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -60,7 +61,10 @@ usage()
         "  shutdown                          drain the daemon and exit it\n"
         "  make-batch [--name N] [--configs LIST] [--traces N]\n"
         "             [--warmup N] [--measure N] [--out FILE]\n"
-        "  run-local <batch.json> [--out FILE]  reference run, no daemon\n");
+        "  run-local <batch.json> [--out FILE]  reference run, no daemon\n"
+        "config tokens: ideal-ibtb16, or a registered organization\n"
+        "(known orgs: %s)\n",
+        BtbRegistry::instance().knownNames().c_str());
     return 2;
 }
 
@@ -100,34 +104,22 @@ writeMergedJson(const std::vector<SimStats> &stats, const std::string &bench,
     return static_cast<bool>(os);
 }
 
-/** A configuration preset token (see file comment). */
+/** A configuration preset token (see file comment). Tokens resolve
+ *  through the organization registry so out-of-tree registrations are
+ *  addressable without touching this tool. */
 CpuConfig
 configFromToken(const std::string &tok)
 {
-    const auto number = [&](std::size_t prefix) {
-        const unsigned n =
-            static_cast<unsigned>(std::atoi(tok.c_str() + prefix));
-        if (n == 0)
-            throw std::runtime_error("bad config token: " + tok);
-        return n;
-    };
     CpuConfig cfg;
     if (tok == "ideal-ibtb16") {
         cfg.btb = BtbConfig::ibtb(16);
         cfg.btb.makeIdeal();
-    } else if (tok.rfind("ibtb", 0) == 0) {
-        cfg.btb = BtbConfig::ibtb(number(4));
-    } else if (tok.rfind("rbtb", 0) == 0) {
-        cfg.btb = BtbConfig::rbtb(number(4));
-    } else if (tok.rfind("bbtb", 0) == 0) {
-        cfg.btb = BtbConfig::bbtb(number(4));
-    } else if (tok.rfind("mbbtb", 0) == 0) {
-        cfg.btb = BtbConfig::mbbtb(number(5), PullPolicy::kAllBr);
-    } else if (tok.rfind("hetero", 0) == 0) {
-        cfg.btb = BtbConfig::hetero(number(6));
-    } else {
-        throw std::runtime_error("unknown config token: " + tok);
+        return cfg;
     }
+    if (!BtbRegistry::instance().parseToken(tok, cfg.btb))
+        throw std::runtime_error(
+            "unknown config token: " + tok + " (known orgs: " +
+            BtbRegistry::instance().knownNames() + ")");
     return cfg;
 }
 
